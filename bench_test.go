@@ -1,0 +1,397 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus micro-benchmarks of the core operations. The
+// figure benchmarks report the reproduced quantities via b.ReportMetric —
+// normalized page-table sizes for Figures 9/10, average cache lines per
+// TLB miss for Figures 11a–d — so `go test -bench .` regenerates the
+// paper's results alongside Go-level timings.
+package clusterpt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterpt"
+	"clusterpt/internal/sim"
+	"clusterpt/internal/tlb"
+	"clusterpt/internal/trace"
+)
+
+// benchRefs keeps the figure benchmarks quick per iteration; cmd/ptrepro
+// runs the full-length traces.
+const benchRefs = 60_000
+
+func BenchmarkTable1(b *testing.B) {
+	var rows []sim.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = sim.RunTable1(trace.Profiles(), sim.Table1Config{Refs: benchRefs})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Workload == "coral" {
+			b.ReportMetric(r.PctTLBTime, "coral-%tlb")
+		}
+		if r.Workload == "gcc" {
+			b.ReportMetric(r.PctTLBTime, "gcc-%tlb")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	var rows []sim.SizeRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = sim.Figure9(trace.Profiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var cluSum float64
+	for _, r := range rows {
+		cluSum += r.Normalized["clustered"]
+	}
+	b.ReportMetric(cluSum/float64(len(rows)), "clustered/hashed")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var rows []sim.SizeRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = sim.Figure10(trace.Profiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sp, psb float64
+	for _, r := range rows {
+		sp += r.Normalized["clustered+superpage"]
+		psb += r.Normalized["clustered+psb"]
+	}
+	n := float64(len(rows))
+	b.ReportMetric(sp/n, "clustered+sp/hashed")
+	b.ReportMetric(psb/n, "clustered+psb/hashed")
+}
+
+// benchFigure11 runs one figure for a representative workload set and
+// reports the clustered and hashed lines-per-miss.
+func benchFigure11(b *testing.B, f sim.Figure) {
+	b.Helper()
+	workloads := []string{"coral", "ML", "gcc"}
+	var clu, hash float64
+	for i := 0; i < b.N; i++ {
+		clu, hash = 0, 0
+		for _, name := range workloads {
+			p, ok := trace.ProfileByName(name)
+			if !ok {
+				b.Fatalf("no profile %s", name)
+			}
+			row, err := sim.RunFigure11(f, p, sim.AccessConfig{Refs: benchRefs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clu += row.AvgLines["clustered"]
+			hash += row.AvgLines["hashed"]
+		}
+	}
+	n := float64(len(workloads))
+	b.ReportMetric(clu/n, "clustered-lines/miss")
+	b.ReportMetric(hash/n, "hashed-lines/miss")
+}
+
+func BenchmarkFigure11a(b *testing.B) { benchFigure11(b, sim.Fig11a) }
+func BenchmarkFigure11b(b *testing.B) { benchFigure11(b, sim.Fig11b) }
+func BenchmarkFigure11c(b *testing.B) { benchFigure11(b, sim.Fig11c) }
+func BenchmarkFigure11d(b *testing.B) { benchFigure11(b, sim.Fig11d) }
+
+func BenchmarkTable2Analytic(b *testing.B) {
+	p, _ := trace.ProfileByName("coral")
+	var pages []clusterpt.VPN
+	for _, s := range p.Snapshot() {
+		pages = append(pages, s.AllPages()...)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = sim.AnalyticHashedBytes(sim.Nactive(pages, 1)) +
+			sim.AnalyticClusteredBytes(sim.Nactive(pages, 16), 16) +
+			sim.AnalyticLinearBytes(pages, 6) +
+			sim.AnalyticForwardBytes(pages, []uint{4, 8, 8, 8, 8, 8, 8})
+	}
+	_ = sink
+}
+
+func BenchmarkLineSizeSensitivity(b *testing.B) {
+	var rows []sim.LineSizeRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.LineSizeSweep([]int{256, 128, 64}, 16)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.ExtraVsOneLine, fmt.Sprintf("extra@%dB", r.LineSize))
+	}
+}
+
+func BenchmarkSubblockSweep(b *testing.B) {
+	p, _ := trace.ProfileByName("gcc")
+	var rows []sim.SubblockRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = sim.SubblockSweep(p, []int{4, 8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.NormalizedSize, fmt.Sprintf("size@s%d", r.Factor))
+	}
+}
+
+func BenchmarkLoadFactorSweep(b *testing.B) {
+	p, _ := trace.ProfileByName("ML")
+	var rows []sim.LoadFactorRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = sim.LoadFactorSweep(p, []int{256, 1024, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Measured, fmt.Sprintf("nodes@b%d", r.Buckets))
+	}
+}
+
+// --- Micro-benchmarks of the core data structure ---
+
+func buildClustered(b *testing.B, pages int) *clusterpt.Table {
+	b.Helper()
+	pt := clusterpt.New(clusterpt.Config{})
+	for i := 0; i < pages; i++ {
+		if err := pt.Map(clusterpt.VPN(i), clusterpt.PPN(i), clusterpt.AttrR); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return pt
+}
+
+func BenchmarkClusteredLookup(b *testing.B) {
+	pt := buildClustered(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := clusterpt.VAOf(clusterpt.VPN(i & 4095))
+		if _, _, ok := pt.Lookup(va); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkClusteredMapUnmap(b *testing.B) {
+	pt := clusterpt.New(clusterpt.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vpn := clusterpt.VPN(i & 0xffff)
+		if err := pt.Map(vpn, clusterpt.PPN(i&0xffff), clusterpt.AttrR); err != nil {
+			b.Fatal(err)
+		}
+		if err := pt.Unmap(vpn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusteredProtectRange(b *testing.B) {
+	pt := buildClustered(b, 4096)
+	r := clusterpt.PageRange(0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, clear := clusterpt.AttrRef, clusterpt.Attr(0)
+		if i%2 == 1 {
+			set, clear = 0, clusterpt.AttrRef
+		}
+		if _, err := pt.ProtectRange(r, set, clear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusteredPromote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pt := clusterpt.New(clusterpt.Config{})
+		for j := clusterpt.VPN(0); j < 16; j++ {
+			pt.Map(0x40+j, 0x100+clusterpt.PPN(j), clusterpt.AttrR)
+		}
+		b.StartTimer()
+		if got := pt.TryPromote(4); got != clusterpt.PromoteSuperpage {
+			b.Fatalf("promotion = %v", got)
+		}
+	}
+}
+
+func BenchmarkTLBAccessHit(b *testing.B) {
+	tl := tlb.MustNew(tlb.Config{})
+	pt := buildClustered(b, 64)
+	for i := clusterpt.VPN(0); i < 64; i++ {
+		e, _, _ := pt.Lookup(clusterpt.VAOf(i))
+		tl.Insert(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tl.Access(clusterpt.VAOf(clusterpt.VPN(i & 63))).Hit {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkResidencyAblation(b *testing.B) {
+	p, _ := trace.ProfileByName("ML")
+	var row sim.ResidencyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = sim.RunResidency(p, sim.ResidencyConfig{Refs: 30_000, CacheBytes: 128 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.MissedPerMiss["clustered"], "clustered-missed/miss")
+	b.ReportMetric(row.MissedPerMiss["hashed"], "hashed-missed/miss")
+}
+
+func BenchmarkSwTLBFrontEnd(b *testing.B) {
+	p, _ := trace.ProfileByName("spice")
+	var row sim.SwTLBRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = sim.SwTLBSweep(p, "forward-mapped", sim.AccessConfig{Refs: 30_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.RawLines, "raw-lines/miss")
+	b.ReportMetric(row.SwLines, "swtlb-lines/miss")
+}
+
+func BenchmarkTieredLookup(b *testing.B) {
+	pt, err := clusterpt.NewTiered(clusterpt.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A 1MB superpage plus base pages: alternate fine and coarse hits.
+	if err := pt.MapSuperpage(0x100000, 0x200000, clusterpt.AttrR, clusterpt.Size1M); err != nil {
+		b.Fatal(err)
+	}
+	for i := clusterpt.VPN(0); i < 256; i++ {
+		if err := pt.Map(i, clusterpt.PPN(i), clusterpt.AttrR); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var va clusterpt.VA
+		if i%2 == 0 {
+			va = clusterpt.VAOf(clusterpt.VPN(i & 255))
+		} else {
+			va = clusterpt.VAOf(0x100000 + clusterpt.VPN(i&255))
+		}
+		if _, _, ok := pt.Lookup(va); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSharedLookup(b *testing.B) {
+	s, err := clusterpt.NewShared(clusterpt.Config{}, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for asid := clusterpt.ASID(0); asid < 8; asid++ {
+		for i := clusterpt.VPN(0); i < 128; i++ {
+			if err := s.Map(asid, i, clusterpt.PPN(asid)<<16|clusterpt.PPN(i), clusterpt.AttrR); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asid := clusterpt.ASID(i & 7)
+		va := clusterpt.VAOf(clusterpt.VPN(i & 127))
+		if _, _, ok := s.Lookup(asid, va); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkAddressSpaceFault(b *testing.B) {
+	pt := clusterpt.New(clusterpt.Config{})
+	alloc, err := clusterpt.NewAllocator(uint64((b.N+16)/16*16+64), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := clusterpt.NewAddressSpace(pt, alloc, clusterpt.Policy{UseSuperpages: true, UsePartial: true})
+	r := clusterpt.Range{Start: 0x100000, Len: uint64(b.N+1) * 4096}
+	if err := space.Reserve(r, clusterpt.AttrR|clusterpt.AttrW, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := space.Touch(r.Start + clusterpt.VA(i*4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuardedSweep(b *testing.B) {
+	p, _ := trace.ProfileByName("gcc")
+	var row sim.GuardedRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = sim.GuardedSweep(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.GuardedLines, "guarded-lines")
+	b.ReportMetric(row.FixedLines, "fixed-lines")
+}
+
+func BenchmarkMultiprogram(b *testing.B) {
+	p, _ := trace.ProfileByName("compress")
+	var row sim.MultiprogramRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = sim.RunMultiprogram(p, 50, 60_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.FlushMisses)/float64(row.IsolatedMisses), "flush/isolated")
+}
+
+func BenchmarkSPIndexSweep(b *testing.B) {
+	p, _ := trace.ProfileByName("pthor")
+	var row sim.SPIndexRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = sim.SPIndexSweep(p, sim.AccessConfig{Refs: 30_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.SPIndexLines, "spindex-lines/miss")
+	b.ReportMetric(row.ClusteredLines, "clustered-lines/miss")
+}
+
+func BenchmarkVerifyClaims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		claims, err := sim.VerifyClaims(30_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range claims {
+			if !c.Pass {
+				b.Fatalf("claim %s failed", c.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package clusterpt implements clustered page tables — the page table
+// organization introduced by Talluri, Hill & Khalidi in "A New Page Table
+// for 64-bit Address Spaces" (SOSP 1995) and later adopted as the native
+// page table of Solaris on UltraSPARC — together with the conventional
+// organizations the paper compares against (linear, forward-mapped,
+// hashed and variants), TLB simulators for superpage and subblock TLBs,
+// and an operating-system memory-management substrate with reservation-
+// based physical allocation and dynamic page-size assignment.
+//
+// A clustered page table is a hashed page table augmented with
+// subblocking: each hash node carries one virtual tag and next pointer
+// but holds mapping words for an aligned group of consecutive base pages
+// (a page block, e.g. sixteen 4KB pages). The same chains also store the
+// compact PTE formats of the paper's §5 — partial-subblock PTEs (one
+// word, a 16-bit resident vector and a properly-placed frame block) and
+// superpage PTEs — so superpage and subblock TLBs are serviced without
+// increasing the TLB miss penalty while the table shrinks.
+//
+// Quick start:
+//
+//	pt := clusterpt.New(clusterpt.Config{})       // s=16, 4096 buckets
+//	_ = pt.Map(0x41, 0x77, clusterpt.AttrR|clusterpt.AttrW)
+//	e, cost, ok := pt.Lookup(0x41034)             // vpn 0x41, offset 0x34
+//	_ = e.PPN                                     // 0x77
+//	_, _, _ = e, cost, ok
+//
+// The exported names below alias the implementation packages under
+// internal/; see DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package clusterpt
+
+import (
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/mm"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+	"clusterpt/internal/tlb"
+)
+
+// Address and page-number types.
+type (
+	// VA is a 64-bit virtual address.
+	VA = addr.V
+	// PA is a physical address.
+	PA = addr.P
+	// VPN is a virtual page number (4KB base pages).
+	VPN = addr.VPN
+	// PPN is a physical page (frame) number.
+	PPN = addr.PPN
+	// VPBN is a virtual page block number.
+	VPBN = addr.VPBN
+	// PageSize is a power-of-two page size.
+	PageSize = addr.Size
+	// Range is a half-open virtual address range.
+	Range = addr.Range
+)
+
+// Page sizes (the MIPS R4000 set the paper uses).
+const (
+	Size4K   = addr.Size4K
+	Size16K  = addr.Size16K
+	Size64K  = addr.Size64K
+	Size256K = addr.Size256K
+	Size1M   = addr.Size1M
+	Size4M   = addr.Size4M
+	Size16M  = addr.Size16M
+)
+
+// PTE formats and attributes.
+type (
+	// Attr is the 12-bit attribute field of a mapping word.
+	Attr = pte.Attr
+	// Entry is a resolved translation, what a TLB miss handler loads.
+	Entry = pte.Entry
+	// Word is an 8-byte mapping word (base, superpage or
+	// partial-subblock format).
+	Word = pte.Word
+)
+
+// Attribute bits.
+const (
+	AttrR   = pte.AttrR
+	AttrW   = pte.AttrW
+	AttrX   = pte.AttrX
+	AttrU   = pte.AttrU
+	AttrG   = pte.AttrG
+	AttrC   = pte.AttrC
+	AttrRef = pte.AttrRef
+	AttrMod = pte.AttrMod
+)
+
+// The clustered page table (the paper's contribution).
+type (
+	// Table is a clustered page table.
+	Table = core.Table
+	// Config parameterizes a clustered page table.
+	Config = core.Config
+	// Promotion is the outcome of Table.TryPromote.
+	Promotion = core.Promotion
+	// Tiered is the §7 two-tier organization covering every page size
+	// from 4KB to 16MB with two clustered tables.
+	Tiered = core.Tiered
+	// Shared is a clustered page table shared across address spaces,
+	// with the ASID folded into the tag (§7).
+	Shared = core.Shared
+	// ASID identifies an address space in a Shared table.
+	ASID = core.ASID
+)
+
+// Promotion outcomes.
+const (
+	PromoteNone      = core.PromoteNone
+	PromotePartial   = core.PromotePartial
+	PromoteSuperpage = core.PromoteSuperpage
+)
+
+// Shared page-table plumbing.
+type (
+	// PageTable is the interface every organization implements.
+	PageTable = pagetable.PageTable
+	// WalkCost records what one page-table walk touched.
+	WalkCost = pagetable.WalkCost
+	// TableSize reports page-table memory use.
+	TableSize = pagetable.Size
+)
+
+// Errors returned by page-table operations.
+var (
+	ErrNotMapped     = pagetable.ErrNotMapped
+	ErrAlreadyMapped = pagetable.ErrAlreadyMapped
+	ErrMisaligned    = pagetable.ErrMisaligned
+	ErrUnsupported   = pagetable.ErrUnsupported
+)
+
+// New creates a clustered page table; the zero Config gives the paper's
+// base case (subblock factor 16, 4096 buckets, 256-byte lines).
+func New(cfg Config) *Table { return core.MustNew(cfg) }
+
+// NewChecked is New returning configuration errors instead of panicking.
+func NewChecked(cfg Config) (*Table, error) { return core.New(cfg) }
+
+// NewTiered creates the two-tier multiple-page-size organization.
+func NewTiered(cfg Config) (*Tiered, error) { return core.NewTiered(cfg) }
+
+// NewShared creates a clustered page table shared by many address
+// spaces of vaBits-bit layouts (0 means 48).
+func NewShared(cfg Config, vaBits uint) (*Shared, error) { return core.NewShared(cfg, vaBits) }
+
+// Operating-system substrate.
+type (
+	// AddressSpace ties a page table, physical allocator and page-size
+	// policy together.
+	AddressSpace = mm.AddressSpace
+	// Allocator is a reservation-based physical frame allocator.
+	Allocator = mm.Allocator
+	// Policy is the dynamic page-size assignment policy.
+	Policy = mm.Policy
+	// Clock is a second-chance page-replacement daemon driven by the
+	// REF bits TLB miss handlers set.
+	Clock = mm.Clock
+)
+
+// NewClock creates a reclaim daemon over an address space.
+func NewClock(space *AddressSpace) *Clock { return mm.NewClock(space) }
+
+// NewAllocator creates a physical allocator over frames with 1<<logSBF
+// frame reservation blocks.
+func NewAllocator(frames uint64, logSBF uint) (*Allocator, error) {
+	return mm.NewAllocator(frames, logSBF)
+}
+
+// NewAddressSpace creates an address space over a page table.
+func NewAddressSpace(pt PageTable, a *Allocator, pol Policy) *AddressSpace {
+	return mm.NewAddressSpace(pt, a, pol)
+}
+
+// TLB simulation.
+type (
+	// TLB is a simulated fully-associative TLB.
+	TLB = tlb.TLB
+	// TLBConfig parameterizes a TLB.
+	TLBConfig = tlb.Config
+	// TLBKind selects the TLB organization.
+	TLBKind = tlb.Kind
+)
+
+// TLB organizations.
+const (
+	TLBSinglePageSize   = tlb.SinglePageSize
+	TLBSuperpage        = tlb.Superpage
+	TLBPartialSubblock  = tlb.PartialSubblock
+	TLBCompleteSubblock = tlb.CompleteSubblock
+)
+
+// NewTLB creates a simulated TLB; the zero config gives the paper's
+// 64-entry fully-associative base case.
+func NewTLB(cfg TLBConfig) (*TLB, error) { return tlb.New(cfg) }
+
+// VPNOf returns the virtual page number containing va.
+func VPNOf(va VA) VPN { return addr.VPNOf(va) }
+
+// VAOf returns the first address of a page.
+func VAOf(vpn VPN) VA { return addr.VAOf(vpn) }
+
+// PageRange builds a Range covering n base pages from va's page.
+func PageRange(va VA, n uint64) Range { return addr.PageRange(va, n) }

@@ -1,0 +1,100 @@
+package clusterpt_test
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt"
+)
+
+// TestPublicAPIQuickstart exercises the doc-comment example end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	pt := clusterpt.New(clusterpt.Config{})
+	if err := pt.Map(0x41, 0x77, clusterpt.AttrR|clusterpt.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := pt.Lookup(0x41034)
+	if !ok || e.PPN != 0x77 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if cost.Lines != 1 {
+		t.Errorf("cost = %+v", cost)
+	}
+	if err := pt.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Unmap(0x41); !errors.Is(err, clusterpt.ErrNotMapped) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPublicAPISuperpagesAndPromotion(t *testing.T) {
+	pt := clusterpt.New(clusterpt.Config{})
+	if err := pt.MapSuperpage(0x100, 0x200, clusterpt.AttrR, clusterpt.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := pt.Lookup(clusterpt.VAOf(0x105))
+	if !ok || e.Size != clusterpt.Size64K || e.PPN != 0x205 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	// Incremental promotion path.
+	pt2 := clusterpt.New(clusterpt.Config{})
+	for i := clusterpt.VPN(0); i < 16; i++ {
+		if err := pt2.Map(0x40+i, 0x300+clusterpt.PPN(i), clusterpt.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pt2.TryPromote(4); got != clusterpt.PromoteSuperpage {
+		t.Errorf("TryPromote = %v", got)
+	}
+}
+
+func TestPublicAPIOSSubstrate(t *testing.T) {
+	pt := clusterpt.New(clusterpt.Config{})
+	alloc, err := clusterpt.NewAllocator(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := clusterpt.NewAddressSpace(pt, alloc, clusterpt.Policy{
+		UseSuperpages: true, UsePartial: true,
+	})
+	r := clusterpt.PageRange(0x100000, 32)
+	if err := space.Reserve(r, clusterpt.AttrR|clusterpt.AttrW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Size().Mappings; got != 32 {
+		t.Errorf("mappings = %d", got)
+	}
+	if got := pt.Size().PTEBytes; got != 2*24 {
+		t.Errorf("PTE bytes = %d, want two superpage nodes", got)
+	}
+}
+
+func TestPublicAPITLB(t *testing.T) {
+	tl, err := clusterpt.NewTLB(clusterpt.TLBConfig{Kind: clusterpt.TLBSuperpage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := clusterpt.New(clusterpt.Config{})
+	pt.MapSuperpage(0x40, 0x100, clusterpt.AttrR, clusterpt.Size64K)
+	va := clusterpt.VAOf(0x45)
+	if tl.Access(va).Hit {
+		t.Error("cold hit")
+	}
+	e, _, _ := pt.Lookup(va)
+	tl.Insert(e)
+	for i := clusterpt.VPN(0); i < 16; i++ {
+		if !tl.Access(clusterpt.VAOf(0x40 + i)).Hit {
+			t.Errorf("page %d missed after superpage insert", i)
+		}
+	}
+}
+
+func TestNewChecked(t *testing.T) {
+	if _, err := clusterpt.NewChecked(clusterpt.Config{SubblockFactor: 5}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

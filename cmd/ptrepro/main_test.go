@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestRunAllExperiments executes every experiment end to end with short
+// traces — the CLI's smoke test.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CLI run in long mode only")
+	}
+	*refsFlag = 20_000
+	for _, exp := range []string{
+		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
+		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog", "verify",
+	} {
+		if err := run(exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command ptsim runs one parameterized simulation: a chosen page table ×
+// TLB organization × workload, reporting miss counts and the average
+// cache lines accessed per TLB miss — a single cell of Figure 11, with
+// every knob exposed.
+//
+// Usage:
+//
+//	ptsim -w coral -table clustered -tlb single
+//	ptsim -w ML -table hashed -tlb subblock -refs 1000000 -entries 128
+//	ptsim -w gcc -table clustered -tlb psb -line 128 -buckets 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/sim"
+	"clusterpt/internal/swtlb"
+	"clusterpt/internal/tlb"
+	"clusterpt/internal/trace"
+)
+
+var (
+	workload  = flag.String("w", "coral", "workload profile")
+	tableName = flag.String("table", "clustered", "page table: clustered|hashed|hashed-multi|hashed-spindex|linear|forward|swtlb-clustered")
+	tlbName   = flag.String("tlb", "single", "TLB: single|superpage|psb|subblock")
+	refs      = flag.Int("refs", 400_000, "trace references")
+	entries   = flag.Int("entries", 64, "TLB entries")
+	lineSize  = flag.Int("line", 256, "cache line size")
+	buckets   = flag.Int("buckets", 4096, "hash buckets")
+	sbf       = flag.Int("sbf", 16, "subblock factor")
+	seed      = flag.Uint64("seed", 1, "trace seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ptsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func tlbKind() (tlb.Kind, sim.PTEMode, error) {
+	switch *tlbName {
+	case "single":
+		return tlb.SinglePageSize, sim.BaseOnly, nil
+	case "superpage":
+		return tlb.Superpage, sim.WithSuperpages, nil
+	case "psb":
+		return tlb.PartialSubblock, sim.WithPartial, nil
+	case "subblock":
+		return tlb.CompleteSubblock, sim.BaseOnly, nil
+	}
+	return 0, 0, fmt.Errorf("unknown TLB %q", *tlbName)
+}
+
+func newTable(m memcost.Model) (pagetable.PageTable, error) {
+	switch *tableName {
+	case "clustered":
+		return core.New(core.Config{SubblockFactor: *sbf, Buckets: *buckets, CostModel: m})
+	case "hashed":
+		return hashed.New(hashed.Config{Buckets: *buckets, CostModel: m})
+	case "hashed-multi":
+		return hashed.NewMulti(hashed.Config{Buckets: *buckets, CostModel: m}, 4, hashed.BaseFirst)
+	case "hashed-spindex":
+		return hashed.NewSPIndex(hashed.Config{Buckets: *buckets, CostModel: m}, 4)
+	case "linear":
+		return linear.New(linear.Config{OneLevel: true, CostModel: m})
+	case "forward":
+		return forward.New(forward.Config{CostModel: m})
+	case "swtlb-clustered":
+		backing, err := core.New(core.Config{SubblockFactor: *sbf, Buckets: *buckets, CostModel: m})
+		if err != nil {
+			return nil, err
+		}
+		return swtlb.New(swtlb.Config{CostModel: m}, backing)
+	}
+	return nil, fmt.Errorf("unknown table %q", *tableName)
+}
+
+func run() error {
+	p, ok := trace.ProfileByName(*workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	if p.SnapshotOnly {
+		return fmt.Errorf("%s is snapshot-only (no reference trace)", p.Name)
+	}
+	kind, mode, err := tlbKind()
+	if err != nil {
+		return err
+	}
+	m := memcost.NewModel(*lineSize)
+
+	var totLines, totMisses, totAccesses uint64
+	snaps := p.Snapshot()
+	for pi, snap := range snaps {
+		n := int(float64(*refs) * p.Procs[pi].RefShare)
+		if n == 0 {
+			continue
+		}
+		pt, err := newTable(m)
+		if err != nil {
+			return err
+		}
+		v := sim.TableVariant{Name: *tableName, New: func(memcost.Model) pagetable.PageTable { return pt }}
+		build, err := sim.BuildProcess(v, mode, snap, m)
+		if err != nil {
+			return err
+		}
+		t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
+		gen := trace.NewGenerator(snap, *seed*31+1)
+		for i := 0; i < n; i++ {
+			va := gen.Next()
+			res := t.Access(va)
+			if res.Hit {
+				continue
+			}
+			totMisses++
+			if kind == tlb.CompleteSubblock && !res.SubblockMiss {
+				br, ok := build.Table.(pagetable.BlockReader)
+				if !ok {
+					return fmt.Errorf("table %q cannot prefetch blocks", *tableName)
+				}
+				vpbn, _ := addr.BlockSplit(addr.VPNOf(va), 4)
+				es, cost, found := br.LookupBlock(vpbn, 4)
+				if !found {
+					return fmt.Errorf("lost block %#x", uint64(vpbn))
+				}
+				totLines += uint64(cost.Lines)
+				t.InsertBlock(vpbn, es)
+				continue
+			}
+			e, cost, found := build.Table.Lookup(va)
+			if !found {
+				return fmt.Errorf("lost %v", va)
+			}
+			totLines += uint64(cost.Lines)
+			t.Insert(e)
+		}
+		totAccesses += uint64(n)
+		sz := build.Table.Size()
+		fmt.Printf("%s/%s: table=%s PTE bytes=%d nodes=%d mappings=%d\n",
+			p.Name, snap.Name, build.Table.Name(), sz.PTEBytes, sz.Nodes, sz.Mappings)
+	}
+	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d\n",
+		p.Name, *tableName, *tlbName, *entries, *lineSize)
+	fmt.Printf("accesses=%d misses=%d miss-ratio=%.5f\n",
+		totAccesses, totMisses, float64(totMisses)/float64(totAccesses))
+	if totMisses > 0 {
+		fmt.Printf("avg cache lines / miss = %.3f\n", float64(totLines)/float64(totMisses))
+	}
+	return nil
+}

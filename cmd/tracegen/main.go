@@ -1,0 +1,99 @@
+// Command tracegen inspects and emits the synthetic workloads that stand
+// in for the paper's ten programs: address-space snapshots (region
+// layout, density, block burstiness) and reference traces.
+//
+// Usage:
+//
+//	tracegen                         # list profiles with footprints
+//	tracegen -w coral                # describe one workload's snapshot
+//	tracegen -w coral -trace 20      # also emit the first 20 references
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterpt/internal/report"
+	"clusterpt/internal/sim"
+	"clusterpt/internal/trace"
+)
+
+var (
+	workload = flag.String("w", "", "workload to describe (default: list all)")
+	traceN   = flag.Int("trace", 0, "emit the first N trace references")
+	seed     = flag.Uint64("seed", 1, "trace seed")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *workload == "" {
+		return list()
+	}
+	p, ok := trace.ProfileByName(*workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	return describe(p)
+}
+
+func list() error {
+	t := report.NewTable("Workload profiles (§6.2 + kernel)",
+		"workload", "processes", "mapped pages", "Table-1 target", "hashed KB", "blocks(16)", "pages/block", "full blocks")
+	for _, p := range trace.Profiles() {
+		var mapped uint64
+		for _, s := range p.Snapshot() {
+			mapped += s.MappedPages()
+		}
+		st := burst(p)
+		t.Row(p.Name, len(p.Procs), mapped, p.TargetPages(),
+			fmt.Sprintf("%.0f", float64(mapped*24)/1024),
+			st.Blocks, fmt.Sprintf("%.1f", st.PagesPerBlock), st.FullBlocks)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func burst(p trace.Profile) sim.BurstStats {
+	var total sim.BurstStats
+	for _, s := range p.Snapshot() {
+		st := sim.Burstiness(s.AllPages(), 4)
+		total.Pages += st.Pages
+		total.Blocks += st.Blocks
+		total.FullBlocks += st.FullBlocks
+	}
+	if total.Blocks > 0 {
+		total.PagesPerBlock = float64(total.Pages) / float64(total.Blocks)
+	}
+	return total
+}
+
+func describe(p trace.Profile) error {
+	for _, s := range p.Snapshot() {
+		t := report.NewTable(fmt.Sprintf("%s / %s (share %.0f%%)", p.Name, s.Name, s.RefShare*100),
+			"region", "base", "extent pages", "mapped", "density", "pattern", "weight")
+		for _, r := range s.Regions {
+			t.Row(r.Spec.Name, r.Base.String(), r.Spec.Pages, len(r.Pages),
+				fmt.Sprintf("%.2f", r.Spec.Density), r.Spec.Pattern.String(),
+				fmt.Sprintf("%.2f", r.Spec.Weight))
+		}
+		t.Render(os.Stdout)
+
+		if *traceN > 0 {
+			gen := trace.NewGenerator(s, *seed*31+1)
+			fmt.Printf("first %d references:\n", *traceN)
+			for i := 0; i < *traceN; i++ {
+				fmt.Printf("  %s\n", gen.Next())
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

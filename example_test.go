@@ -1,0 +1,51 @@
+package clusterpt_test
+
+import (
+	"fmt"
+
+	"clusterpt"
+)
+
+// The basic TLB-miss-handler flow: map, look up, read the translation.
+func ExampleNew() {
+	pt := clusterpt.New(clusterpt.Config{})
+	_ = pt.Map(0x41, 0x77, clusterpt.AttrR|clusterpt.AttrW)
+	e, cost, ok := pt.Lookup(0x41034)
+	fmt.Printf("%v %#x %v %d\n", ok, uint64(e.PPN), e.PA(0x41034), cost.Lines)
+	// Output: true 0x77 0x000000077034 1
+}
+
+// Sixteen pages of one block share a single node; promotion compacts
+// them to one superpage word.
+func ExampleTable_TryPromote() {
+	pt := clusterpt.New(clusterpt.Config{})
+	for i := clusterpt.VPN(0); i < 16; i++ {
+		_ = pt.Map(0x40+i, 0x100+clusterpt.PPN(i), clusterpt.AttrR)
+	}
+	before := pt.Size().PTEBytes
+	outcome := pt.TryPromote(4)
+	fmt.Println(before, outcome, pt.Size().PTEBytes)
+	// Output: 144 superpage 24
+}
+
+// Partial-subblock PTEs cover properly-placed blocks with holes.
+func ExampleTable_MapPartial() {
+	pt := clusterpt.New(clusterpt.Config{})
+	// Pages 0, 1 and 5 of block 4 resident in frame block 0x240.
+	_ = pt.MapPartial(4, 0x240, clusterpt.AttrR, 0b100011)
+	_, _, hit := pt.Lookup(clusterpt.VAOf(0x45))
+	_, _, hole := pt.Lookup(clusterpt.VAOf(0x44))
+	fmt.Println(hit, hole, pt.Size().PTEBytes)
+	// Output: true false 24
+}
+
+// Range operations probe the hash table once per page block (§3.1).
+func ExampleTable_ProtectRange() {
+	pt := clusterpt.New(clusterpt.Config{})
+	for i := clusterpt.VPN(0); i < 64; i++ {
+		_ = pt.Map(i, clusterpt.PPN(i), clusterpt.AttrR|clusterpt.AttrW)
+	}
+	cost, _ := pt.ProtectRange(clusterpt.PageRange(0, 64), 0, clusterpt.AttrW)
+	fmt.Println(cost.Probes)
+	// Output: 4
+}

@@ -1,0 +1,86 @@
+// multisize exercises the §7 multiple-page-size discussion: the MIPS
+// R4000 supports seven page sizes (4KB…16MB), and while conventional
+// organizations need roughly one page table per size, two clustered
+// tables suffice. This example maps a realistic mixed-size address
+// space — code and stacks on base pages, a medium heap on 64KB
+// superpages, a shared cache on 1MB superpages, and a frame buffer on
+// 16MB superpages — through a single Tiered object, then services a
+// superpage TLB from it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusterpt"
+)
+
+func main() {
+	pt, err := clusterpt.NewTiered(clusterpt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type mapping struct {
+		what string
+		vpn  clusterpt.VPN
+		ppn  clusterpt.PPN
+		size clusterpt.PageSize
+		n    int // how many
+	}
+	layout := []mapping{
+		{"code (4KB)", 0x0000010, 0x10, clusterpt.Size4K, 24},
+		{"malloc arenas (64KB)", 0x1000000, 0x20000, clusterpt.Size64K, 8},
+		{"shared cache (1MB)", 0x2000000, 0x40000, clusterpt.Size1M, 4},
+		{"frame buffer (16MB)", 0x4000000, 0x80000, clusterpt.Size16M, 1},
+	}
+	var totalPages uint64
+	for _, l := range layout {
+		pages := l.size.Pages()
+		for i := 0; i < l.n; i++ {
+			vpn := l.vpn + clusterpt.VPN(uint64(i)*pages)
+			ppn := l.ppn + clusterpt.PPN(uint64(i)*pages)
+			if l.size == clusterpt.Size4K {
+				err = pt.Map(vpn, ppn, clusterpt.AttrR|clusterpt.AttrW)
+			} else {
+				err = pt.MapSuperpage(vpn, ppn, clusterpt.AttrR|clusterpt.AttrW, l.size)
+			}
+			if err != nil {
+				log.Fatalf("%s #%d: %v", l.what, i, err)
+			}
+			totalPages += pages
+		}
+	}
+	sz := pt.Size()
+	fmt.Printf("mixed layout: %d base pages of coverage\n", totalPages)
+	fmt.Printf("  tiered clustered tables: %d nodes, %d PTE bytes (%.2f bytes/page)\n",
+		sz.Nodes, sz.PTEBytes, float64(sz.PTEBytes)/float64(totalPages))
+	fmt.Printf("  a hashed table of base PTEs would use %d bytes (%.0fx more)\n",
+		totalPages*24, float64(totalPages*24)/float64(sz.PTEBytes))
+
+	// Translate spot addresses across every size.
+	for _, l := range layout {
+		va := clusterpt.VAOf(l.vpn) + clusterpt.VA(uint64(l.size)/2)
+		e, cost, ok := pt.Lookup(va)
+		if !ok {
+			log.Fatalf("%s: %v unmapped", l.what, va)
+		}
+		fmt.Printf("  %-22s lookup %v -> frame %#x (size %v, %d probe(s), %d line(s))\n",
+			l.what, va, uint64(e.PPN), e.Size, cost.Probes, cost.Lines)
+	}
+
+	// A superpage TLB walks the whole frame buffer with one miss.
+	tl, _ := clusterpt.NewTLB(clusterpt.TLBConfig{Kind: clusterpt.TLBSuperpage})
+	misses := 0
+	fb := layout[3]
+	for off := uint64(0); off < uint64(fb.size); off += 4096 {
+		va := clusterpt.VAOf(fb.vpn) + clusterpt.VA(off)
+		if !tl.Access(va).Hit {
+			misses++
+			e, _, _ := pt.Lookup(va)
+			tl.Insert(e)
+		}
+	}
+	fmt.Printf("touching all %d pages of the frame buffer: %d TLB miss\n",
+		fb.size.Pages(), misses)
+}

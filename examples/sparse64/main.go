@@ -1,0 +1,102 @@
+// sparse64 stresses a sparse 64-bit address space — the workload shape
+// §2 and §7 argue 64-bit systems will have: many isolated objects
+// scattered across the full virtual range, each a burst of a few
+// consecutive pages. It compares the memory cost of every organization
+// in this repository, reproducing the §2/§3 argument in miniature:
+// linear and forward-mapped trees pay directory overhead per isolated
+// object, hashed tables pay 200% per PTE, and clustered tables pay one
+// tag per burst.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"clusterpt"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/trace"
+)
+
+func main() {
+	// 2000 objects, 1–16 pages each, scattered uniformly over the 64-bit
+	// space ("bursty and not arbitrarily sparse", §3).
+	rng := trace.NewRNG(0x64b17)
+	type object struct {
+		vpn   clusterpt.VPN
+		pages uint64
+	}
+	var objects []object
+	var totalPages uint64
+	for i := 0; i < 2000; i++ {
+		pages := 1 + rng.Uint64n(16)
+		vpn := clusterpt.VPN(rng.Uint64() >> 12 &^ 0xf) // block-aligned starts
+		objects = append(objects, object{vpn, pages})
+		totalPages += pages
+	}
+
+	m := memcost.NewModel(0)
+	tables := []pagetable.PageTable{
+		linear.MustNew(linear.Config{}),
+		linear.MustNew(linear.Config{OneLevel: true}),
+		forward.MustNew(forward.Config{}),
+		forward.MustNewGuarded(forward.GuardedConfig{CostModel: m}),
+		hashed.MustNew(hashed.Config{CostModel: m}),
+		hashed.MustNew(hashed.Config{PackedPTE: true, CostModel: m}),
+		hashed.MustNewInverted(hashed.Config{CostModel: m}, 1<<16),
+		clusterpt.New(clusterpt.Config{}),
+		clusterpt.New(clusterpt.Config{SparseNodes: true}),
+	}
+	names := []string{
+		"linear 6-level", "linear 1-level (idealized)", "forward-mapped 7-level",
+		"forward-mapped guarded (§2)",
+		"hashed", "hashed packed (§7)", "inverted (size ∝ physical mem)",
+		"clustered", "clustered + sparse nodes (§3 ext)",
+	}
+
+	for _, pt := range tables {
+		frame := clusterpt.PPN(0)
+		for _, o := range objects {
+			for p := uint64(0); p < o.pages; p++ {
+				if err := pt.Map(o.vpn+clusterpt.VPN(p), frame, clusterpt.AttrR|clusterpt.AttrW); err != nil {
+					log.Fatalf("%s: %v", pt.Name(), err)
+				}
+				frame++
+			}
+		}
+	}
+
+	var hashedBytes uint64
+	for i, pt := range tables {
+		if names[i] == "hashed" {
+			hashedBytes = pt.Size().PTEBytes
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "organization\tPTE bytes\ttotal bytes\tvs hashed\tbytes/page\n")
+	for i, pt := range tables {
+		sz := pt.Size()
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3f\t%.1f\n",
+			names[i], sz.PTEBytes, sz.Total(),
+			float64(sz.PTEBytes)/float64(hashedBytes),
+			float64(sz.PTEBytes)/float64(totalPages))
+	}
+	w.Flush()
+
+	fmt.Printf("\n%d objects, %d pages scattered over the 64-bit space\n", len(objects), totalPages)
+
+	// Lookup sanity and cost across organizations.
+	for i, pt := range tables {
+		va := clusterpt.VAOf(objects[0].vpn)
+		_, cost, ok := pt.Lookup(va)
+		if !ok {
+			log.Fatalf("%s lost the first object", names[i])
+		}
+		fmt.Printf("%-34s lookup: %d line(s)\n", names[i], cost.Lines)
+	}
+}

@@ -1,0 +1,3 @@
+module clusterpt
+
+go 1.22

@@ -1,0 +1,106 @@
+// Package addr defines 64-bit virtual and physical address arithmetic for
+// the page-table implementations in this repository.
+//
+// The conventions follow Talluri, Hill & Khalidi, "A New Page Table for
+// 64-bit Address Spaces" (SOSP 1995): a 64-bit virtual address space, a 4KB
+// base page, and aligned groups of consecutive base pages called page
+// blocks. A virtual page number (VPN) splits into a virtual page block
+// number (VPBN) and a block offset; the VPBN participates in hash functions
+// while the block offset indexes the subblock array of a clustered PTE.
+package addr
+
+import "fmt"
+
+// Base page geometry. The paper assumes a 4KB base page throughout.
+const (
+	// BasePageShift is log2 of the base page size.
+	BasePageShift = 12
+	// BasePageSize is the base page size in bytes (4KB).
+	BasePageSize = 1 << BasePageShift
+	// OffsetMask extracts the byte offset within a base page.
+	OffsetMask = BasePageSize - 1
+	// VPNBits is the number of virtual page number bits in a 64-bit
+	// address with 4KB pages.
+	VPNBits = 64 - BasePageShift
+)
+
+// V is a 64-bit virtual address.
+type V uint64
+
+// P is a physical address. The paper's example PTE format (Figure 1)
+// accommodates a 40-bit physical address; we do not restrict the type but
+// the PTE encoders will reject PPNs beyond 28 bits.
+type P uint64
+
+// VPN is a virtual page number: the upper 52 bits of a virtual address.
+type VPN uint64
+
+// PPN is a physical page (frame) number.
+type PPN uint64
+
+// VPBN is a virtual page block number: the VPN with the block-offset bits
+// (log2 of the subblock factor) removed.
+type VPBN uint64
+
+// VPNOf returns the virtual page number containing va.
+func VPNOf(va V) VPN { return VPN(va >> BasePageShift) }
+
+// PageOffset returns the byte offset of va within its base page.
+func PageOffset(va V) uint64 { return uint64(va) & OffsetMask }
+
+// VAOf reconstructs the first virtual address of a page.
+func VAOf(vpn VPN) V { return V(vpn) << BasePageShift }
+
+// PAOf reconstructs the first physical address of a frame.
+func PAOf(ppn PPN) P { return P(ppn) << BasePageShift }
+
+// PPNOf returns the physical page number containing pa.
+func PPNOf(pa P) PPN { return PPN(pa >> BasePageShift) }
+
+// BlockSplit splits a VPN into its page-block number and block offset for a
+// subblock factor of 1<<logSBF.
+func BlockSplit(vpn VPN, logSBF uint) (VPBN, uint64) {
+	return VPBN(vpn >> logSBF), uint64(vpn) & ((1 << logSBF) - 1)
+}
+
+// BlockJoin reassembles a VPN from a page-block number and block offset.
+func BlockJoin(vpbn VPBN, boff uint64, logSBF uint) VPN {
+	return VPN(uint64(vpbn)<<logSBF | boff)
+}
+
+// BlockBase returns the first VPN of the page block containing vpn.
+func BlockBase(vpn VPN, logSBF uint) VPN {
+	return vpn &^ ((1 << logSBF) - 1)
+}
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x uint64) bool { return x != 0 && x&(x-1) == 0 }
+
+// Log2 returns log2 of a power of two. It panics if x is not a power of
+// two; callers validate configuration before use.
+func Log2(x uint64) uint {
+	if !IsPow2(x) {
+		panic(fmt.Sprintf("addr: %d is not a power of two", x))
+	}
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// AlignDown rounds va down to a multiple of align (a power of two).
+func AlignDown(va V, align uint64) V { return va &^ V(align-1) }
+
+// AlignUp rounds va up to a multiple of align (a power of two).
+func AlignUp(va V, align uint64) V { return (va + V(align-1)) &^ V(align-1) }
+
+// IsAligned reports whether va is a multiple of align (a power of two).
+func IsAligned(va V, align uint64) bool { return uint64(va)&(align-1) == 0 }
+
+// String renders a virtual address in hex.
+func (va V) String() string { return fmt.Sprintf("0x%016x", uint64(va)) }
+
+// String renders a physical address in hex.
+func (pa P) String() string { return fmt.Sprintf("0x%012x", uint64(pa)) }

@@ -1,0 +1,267 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVPNSplit(t *testing.T) {
+	cases := []struct {
+		va  V
+		vpn VPN
+		off uint64
+	}{
+		{0, 0, 0},
+		{0xfff, 0, 0xfff},
+		{0x1000, 1, 0},
+		{0x41034, 0x41, 0x34},
+		{0xffffffffffffffff, 0xfffffffffffff, 0xfff},
+	}
+	for _, c := range cases {
+		if got := VPNOf(c.va); got != c.vpn {
+			t.Errorf("VPNOf(%s) = %#x, want %#x", c.va, got, c.vpn)
+		}
+		if got := PageOffset(c.va); got != c.off {
+			t.Errorf("PageOffset(%s) = %#x, want %#x", c.va, got, c.off)
+		}
+	}
+}
+
+func TestVARoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := V(raw)
+		return VAOf(VPNOf(va))+V(PageOffset(va)) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockSplitJoin(t *testing.T) {
+	// The paper's running example: subblock factor 16 (logSBF 4) and
+	// faulting address 0x41034 whose block starts at VPN 0x40.
+	vpn := VPNOf(0x41034)
+	vpbn, boff := BlockSplit(vpn, 4)
+	if vpbn != 0x4 || boff != 1 {
+		t.Fatalf("BlockSplit(0x41, 4) = (%#x, %d), want (0x4, 1)", vpbn, boff)
+	}
+	if got := BlockJoin(vpbn, boff, 4); got != vpn {
+		t.Fatalf("BlockJoin round trip = %#x, want %#x", got, vpn)
+	}
+	if got := BlockBase(vpn, 4); got != 0x40 {
+		t.Fatalf("BlockBase(0x41, 4) = %#x, want 0x40", got)
+	}
+}
+
+func TestBlockSplitProperty(t *testing.T) {
+	f := func(raw uint64, s uint8) bool {
+		logSBF := uint(s % 6) // factors 1..32
+		vpn := VPN(raw >> BasePageShift)
+		vpbn, boff := BlockSplit(vpn, logSBF)
+		return BlockJoin(vpbn, boff, logSBF) == vpn && boff < 1<<logSBF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for n := uint(0); n < 63; n++ {
+		if got := Log2(1 << n); got != n {
+			t.Errorf("Log2(1<<%d) = %d", n, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(3) did not panic")
+		}
+	}()
+	Log2(3)
+}
+
+func TestIsPow2(t *testing.T) {
+	pow2 := map[uint64]bool{1: true, 2: true, 4096: true, 1 << 40: true}
+	for _, x := range []uint64{0, 1, 2, 3, 5, 4095, 4096, 1 << 40, 1<<40 + 1} {
+		if got := IsPow2(x); got != pow2[x] {
+			t.Errorf("IsPow2(%d) = %v", x, got)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if got := AlignDown(0x41034, 0x10000); got != 0x40000 {
+		t.Errorf("AlignDown = %s", got)
+	}
+	if got := AlignUp(0x41034, 0x10000); got != 0x50000 {
+		t.Errorf("AlignUp = %s", got)
+	}
+	if got := AlignUp(0x40000, 0x10000); got != 0x40000 {
+		t.Errorf("AlignUp aligned = %s", got)
+	}
+	if !IsAligned(0x40000, 0x10000) || IsAligned(0x41000, 0x10000) {
+		t.Error("IsAligned misjudged")
+	}
+}
+
+func TestPageSizes(t *testing.T) {
+	want := []struct {
+		s     Size
+		pages uint64
+		str   string
+	}{
+		{Size4K, 1, "4KB"},
+		{Size16K, 4, "16KB"},
+		{Size64K, 16, "64KB"},
+		{Size256K, 64, "256KB"},
+		{Size1M, 256, "1MB"},
+		{Size4M, 1024, "4MB"},
+		{Size16M, 4096, "16MB"},
+	}
+	for _, w := range want {
+		if !w.s.Valid() {
+			t.Errorf("%v not valid", w.s)
+		}
+		if w.s.Pages() != w.pages {
+			t.Errorf("%v pages = %d, want %d", w.s, w.s.Pages(), w.pages)
+		}
+		if w.s.String() != w.str {
+			t.Errorf("%v String = %q, want %q", uint64(w.s), w.s.String(), w.str)
+		}
+	}
+	if Size(3 << 10).Valid() {
+		t.Error("3KB considered valid")
+	}
+}
+
+func TestSZEncodeDecode(t *testing.T) {
+	for _, s := range R4000Sizes {
+		if got := SZDecode(SZEncode(s)); got != s {
+			t.Errorf("SZ round trip %v -> %v", s, got)
+		}
+	}
+	if SZEncode(Size4K) != 0 || SZEncode(Size64K) != 4 {
+		t.Error("SZ encoding does not count doublings above 4KB")
+	}
+}
+
+func TestSizeBaseContains(t *testing.T) {
+	if got := Size64K.Base(0x41034); got != 0x40000 {
+		t.Errorf("Size64K.Base = %s", got)
+	}
+	if !Size64K.Contains(0x40000, 0x4ffff) {
+		t.Error("Contains(0x40000, 0x4ffff) = false")
+	}
+	if Size64K.Contains(0x40000, 0x50000) {
+		t.Error("Contains(0x40000, 0x50000) = true")
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := RangeOf(0x1000, 0x5000)
+	if r.Len != 0x4000 || r.End() != 0x5000 {
+		t.Fatalf("RangeOf = %+v", r)
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x4fff) || r.Contains(0x5000) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if r.NumPages() != 4 {
+		t.Errorf("NumPages = %d, want 4", r.NumPages())
+	}
+	if (Range{}).NumPages() != 0 {
+		t.Error("empty range has pages")
+	}
+}
+
+func TestRangeUnaligned(t *testing.T) {
+	// A byte range straddling two pages touches both.
+	r := RangeOf(0x1ffe, 0x2002)
+	if r.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", r.NumPages())
+	}
+	var vpns []VPN
+	r.Pages(func(v VPN) bool { vpns = append(vpns, v); return true })
+	if len(vpns) != 2 || vpns[0] != 1 || vpns[1] != 2 {
+		t.Errorf("Pages = %v", vpns)
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := RangeOf(0x1000, 0x3000)
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{RangeOf(0x0, 0x1000), false},
+		{RangeOf(0x0, 0x1001), true},
+		{RangeOf(0x2fff, 0x4000), true},
+		{RangeOf(0x3000, 0x4000), false},
+		{RangeOf(0x1800, 0x2000), true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v", a, c.b, got)
+		}
+	}
+}
+
+func TestRangeBlocks(t *testing.T) {
+	// Pages 14..33 with subblock factor 16 span blocks 0 (14..15),
+	// 1 (0..15) and 2 (0..1).
+	r := PageRange(VAOf(14), 20)
+	type rec struct {
+		b      VPBN
+		lo, hi uint64
+	}
+	var got []rec
+	r.Blocks(4, func(b VPBN, lo, hi uint64) bool {
+		got = append(got, rec{b, lo, hi})
+		return true
+	})
+	want := []rec{{0, 14, 15}, {1, 0, 15}, {2, 0, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Blocks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("block %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangeBlocksEarlyStop(t *testing.T) {
+	r := PageRange(0, 64)
+	n := 0
+	r.Blocks(4, func(VPBN, uint64, uint64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d blocks", n)
+	}
+}
+
+func TestRangeBlocksCoverAllPages(t *testing.T) {
+	f := func(startRaw uint32, pages uint16, s uint8) bool {
+		logSBF := uint(s%5) + 1
+		n := uint64(pages%200) + 1
+		r := PageRange(V(startRaw), n)
+		var total uint64
+		r.Blocks(logSBF, func(b VPBN, lo, hi uint64) bool {
+			total += hi - lo + 1
+			return true
+		})
+		return total == r.NumPages()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if V(0x41034).String() != "0x0000000000041034" {
+		t.Errorf("V.String = %s", V(0x41034))
+	}
+	if P(0x1000).String() != "0x000000001000" {
+		t.Errorf("P.String = %s", P(0x1000))
+	}
+	if RangeOf(0, 0x1000).String() == "" {
+		t.Error("empty Range.String")
+	}
+}

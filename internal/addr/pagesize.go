@@ -1,0 +1,66 @@
+package addr
+
+import "fmt"
+
+// Size is a page size in bytes. Superpages must be power-of-two multiples
+// of the base page size and aligned in both virtual and physical memory
+// (§4.1). The MIPS R4000 set used throughout the paper is 4KB, 16KB, 64KB,
+// 256KB, 1MB, 4MB and 16MB.
+type Size uint64
+
+// The MIPS R4000 page-size set (§4.1).
+const (
+	Size4K   Size = 4 << 10
+	Size16K  Size = 16 << 10
+	Size64K  Size = 64 << 10
+	Size256K Size = 256 << 10
+	Size1M   Size = 1 << 20
+	Size4M   Size = 4 << 20
+	Size16M  Size = 16 << 20
+)
+
+// R4000Sizes lists the supported page sizes from smallest to largest.
+var R4000Sizes = []Size{Size4K, Size16K, Size64K, Size256K, Size1M, Size4M, Size16M}
+
+// Valid reports whether s is a power-of-two multiple of the base page size.
+func (s Size) Valid() bool {
+	return IsPow2(uint64(s)) && s >= Size4K
+}
+
+// Pages returns the number of base pages covered by a page of size s.
+func (s Size) Pages() uint64 { return uint64(s) / BasePageSize }
+
+// Shift returns log2 of the page size in bytes.
+func (s Size) Shift() uint { return Log2(uint64(s)) }
+
+// LogPages returns log2 of the number of base pages covered.
+func (s Size) LogPages() uint { return s.Shift() - BasePageShift }
+
+// Mask extracts the byte offset within a page of size s.
+func (s Size) Mask() uint64 { return uint64(s) - 1 }
+
+// Base returns the first virtual address of the size-s page containing va.
+func (s Size) Base(va V) V { return va &^ V(s.Mask()) }
+
+// Contains reports whether the size-s page starting at base covers va.
+// base must itself be s-aligned.
+func (s Size) Contains(base, va V) bool { return s.Base(va) == base }
+
+// String renders a page size with a binary-unit suffix.
+func (s Size) String() string {
+	switch {
+	case s >= Size1M && uint64(s)%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", uint64(s)>>20)
+	case s >= 1<<10 && uint64(s)%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", uint64(s)>>10)
+	default:
+		return fmt.Sprintf("%dB", uint64(s))
+	}
+}
+
+// SZEncode encodes a page size as the SZ field of a superpage PTE
+// (Figure 6): the number of doublings above the base page size.
+func SZEncode(s Size) uint8 { return uint8(s.Shift() - BasePageShift) }
+
+// SZDecode is the inverse of SZEncode.
+func SZDecode(sz uint8) Size { return Size(1) << (uint(sz) + BasePageShift) }

@@ -1,0 +1,109 @@
+package addr
+
+import "fmt"
+
+// Range is a half-open range of virtual addresses [Start, Start+Len).
+// Operating systems apply protection and mapping changes to ranges (§3.1);
+// the range operations on page tables take this type.
+type Range struct {
+	Start V
+	Len   uint64
+}
+
+// RangeOf builds a Range covering [start, end).
+func RangeOf(start, end V) Range {
+	if end < start {
+		panic(fmt.Sprintf("addr: inverted range [%s, %s)", start, end))
+	}
+	return Range{Start: start, Len: uint64(end - start)}
+}
+
+// PageRange builds a Range covering n base pages starting at the page
+// containing va.
+func PageRange(va V, n uint64) Range {
+	return Range{Start: AlignDown(va, BasePageSize), Len: n * BasePageSize}
+}
+
+// End returns the first address past the range.
+func (r Range) End() V { return r.Start + V(r.Len) }
+
+// Empty reports whether the range covers no bytes.
+func (r Range) Empty() bool { return r.Len == 0 }
+
+// Contains reports whether va lies within the range.
+func (r Range) Contains(va V) bool { return va >= r.Start && va < r.End() }
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// FirstVPN returns the VPN of the first page touched by the range.
+func (r Range) FirstVPN() VPN { return VPNOf(r.Start) }
+
+// LastVPN returns the VPN of the last page touched by the range. It must
+// not be called on an empty range.
+func (r Range) LastVPN() VPN {
+	if r.Empty() {
+		panic("addr: LastVPN of empty range")
+	}
+	return VPNOf(r.End() - 1)
+}
+
+// NumPages returns the number of base pages the range touches.
+func (r Range) NumPages() uint64 {
+	if r.Empty() {
+		return 0
+	}
+	return uint64(r.LastVPN()-r.FirstVPN()) + 1
+}
+
+// Pages iterates over every VPN the range touches, calling fn for each. It
+// stops early if fn returns false.
+func (r Range) Pages(fn func(VPN) bool) {
+	if r.Empty() {
+		return
+	}
+	last := r.LastVPN()
+	for vpn := r.FirstVPN(); ; vpn++ {
+		if !fn(vpn) {
+			return
+		}
+		if vpn == last {
+			return
+		}
+	}
+}
+
+// Blocks iterates over every page block (subblock factor 1<<logSBF) the
+// range touches, calling fn with the block number and the sub-range of
+// block offsets [lo, hi] populated within that block.
+func (r Range) Blocks(logSBF uint, fn func(vpbn VPBN, lo, hi uint64) bool) {
+	if r.Empty() {
+		return
+	}
+	first, last := r.FirstVPN(), r.LastVPN()
+	sbf := uint64(1) << logSBF
+	firstB, _ := BlockSplit(first, logSBF)
+	lastB, _ := BlockSplit(last, logSBF)
+	for b := firstB; ; b++ {
+		lo, hi := uint64(0), sbf-1
+		if b == firstB {
+			_, lo = BlockSplit(first, logSBF)
+		}
+		if b == lastB {
+			_, hi = BlockSplit(last, logSBF)
+		}
+		if !fn(b, lo, hi) {
+			return
+		}
+		if b == lastB {
+			return
+		}
+	}
+}
+
+// String renders the range as [start, end).
+func (r Range) String() string {
+	return fmt.Sprintf("[%s, %s)", r.Start, r.End())
+}

@@ -1,0 +1,136 @@
+package cache
+
+import "testing"
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LineSize: 100},
+		{SizeBytes: 1024, LineSize: 256, Ways: 3},
+		{SizeBytes: 768, LineSize: 256, Ways: 1}, // 3 sets, not pow2
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{LineSize: 7})
+}
+
+func TestHitMiss(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 4096, LineSize: 256, Ways: 1})
+	if c.Access(0) {
+		t.Error("cold hit")
+	}
+	if !c.Access(0) {
+		t.Error("warm miss")
+	}
+	if !c.Access(255) {
+		t.Error("same-line miss")
+	}
+	if c.Access(256) {
+		t.Error("next-line hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConflictAndAssociativity(t *testing.T) {
+	// Direct-mapped 16 sets: addresses 0 and 4096 conflict.
+	dm := MustNew(Config{SizeBytes: 4096, LineSize: 256, Ways: 1})
+	dm.Access(0)
+	dm.Access(4096)
+	if dm.Access(0) {
+		t.Error("conflict victim survived in direct-mapped cache")
+	}
+	// 2-way: both fit.
+	tw := MustNew(Config{SizeBytes: 4096, LineSize: 256, Ways: 2})
+	tw.Access(0)
+	tw.Access(4096)
+	if !tw.Access(0) || !tw.Access(4096) {
+		t.Error("2-way evicted one of two conflicting lines")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 2048, LineSize: 256, Ways: 2}) // 4 sets
+	// Set 0: lines 0, 1024, 2048 (three conflicting in 2 ways).
+	c.Access(0)
+	c.Access(1024)
+	c.Access(0)    // 0 MRU
+	c.Access(2048) // evicts 1024
+	if !c.Access(0) {
+		t.Error("MRU evicted")
+	}
+	if c.Access(1024) {
+		t.Error("LRU survived")
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 8192, LineSize: 256, Ways: 1})
+	if got := c.AccessRange(0, 0); got != 0 {
+		t.Errorf("empty range misses = %d", got)
+	}
+	if got := c.AccessRange(0, 512); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+	if got := c.AccessRange(0, 512); got != 0 {
+		t.Errorf("warm misses = %d", got)
+	}
+	c.Flush()
+	if got := c.AccessRange(255, 2); got != 2 {
+		t.Errorf("straddle misses = %d, want 2 (both lines cold)", got)
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 4096, LineSize: 256, Ways: 1})
+	c.Access(0)
+	c.Flush()
+	if c.Access(0) {
+		t.Error("hit after flush")
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Accesses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.LineSize() != 256 {
+		t.Errorf("LineSize = %d", c.LineSize())
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Error("zero-access ratio")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRatio() != 0.25 {
+		t.Errorf("ratio = %v", s.MissRatio())
+	}
+}
+
+func TestSmallerFootprintHasFewerMisses(t *testing.T) {
+	// The §6.1 intuition: a page table with a smaller footprint enjoys
+	// higher cache residency. Sweep two footprints through a small cache.
+	run := func(footprint int) float64 {
+		c := MustNew(Config{SizeBytes: 16 << 10, LineSize: 256, Ways: 4})
+		for pass := 0; pass < 8; pass++ {
+			for off := 0; off < footprint; off += 256 {
+				c.Access(uint64(off))
+			}
+		}
+		return c.Stats().MissRatio()
+	}
+	small, large := run(8<<10), run(64<<10)
+	if small >= large {
+		t.Errorf("small footprint ratio %v ≥ large %v", small, large)
+	}
+}

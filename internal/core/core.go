@@ -1,0 +1,220 @@
+// Package core implements the paper's central contribution: the clustered
+// page table (Talluri, Hill & Khalidi, SOSP 1995, §3 and §5).
+//
+// A clustered page table is a hashed page table augmented with
+// subblocking: each hash node carries a single virtual tag and next
+// pointer but stores mapping information for an aligned group of
+// consecutive base pages — a page block (e.g. sixteen 4KB pages). During
+// lookup the virtual page number splits into a virtual page block number
+// (VPBN), which participates in the hash function, and a block offset,
+// which indexes the node's array of mapping words.
+//
+// The same hash chains also hold the compact PTE formats of §5: a
+// partial-subblock node (one mapping word with a 16-bit valid vector and
+// the base frame of a properly-placed frame block) and a superpage node
+// (one mapping word with a SZ field). The TLB miss handler traverses the
+// chain exactly as for base pages and only differs after the tag match,
+// when it consults the S field of the mapping word — so superpage and
+// partial-subblock PTEs are serviced without increasing the TLB miss
+// penalty while using 24 bytes instead of 8s+16.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+// Defaults from the paper's base case (§6.1).
+const (
+	// DefaultSubblockFactor is the paper's base-case subblock factor.
+	DefaultSubblockFactor = 16
+	// DefaultBuckets is the paper's base-case hash bucket count.
+	DefaultBuckets = 4096
+
+	// headerBytes is the per-node tag + next pointer overhead: eight
+	// bytes each with 64-bit addresses (§2).
+	headerBytes = 16
+	// compactNodeBytes is the size of a partial-subblock or superpage
+	// node: tag, next and one mapping word (§5).
+	compactNodeBytes = headerBytes + pte.WordBytes
+)
+
+// Config parameterizes a clustered page table.
+type Config struct {
+	// SubblockFactor is the number of base pages per page block. It must
+	// be a power of two in [2, 64]; partial-subblock PTEs additionally
+	// require ≤16 because of the valid-vector width (§4.3). The default
+	// is 16.
+	SubblockFactor int
+	// Buckets is the hash bucket count, a power of two. The default is
+	// 4096.
+	Buckets int
+	// CostModel sets the cache-line geometry for walk accounting. The
+	// zero value means 256-byte lines (§6.1).
+	CostModel memcost.Model
+	// SparseNodes enables the variable-subblock-factor generalization
+	// sketched in §3: a block populated with a single mapping is stored
+	// in a compact 24-byte node (the block offset rides in unused tag
+	// bits) and is widened to a full node on the second insertion. This
+	// trades a few extra miss-handler instructions for better memory
+	// utilization in very sparse address spaces.
+	SparseNodes bool
+}
+
+func (c *Config) fill() error {
+	if c.SubblockFactor == 0 {
+		c.SubblockFactor = DefaultSubblockFactor
+	}
+	if c.Buckets == 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.SubblockFactor < 2 || c.SubblockFactor > 64 || !addr.IsPow2(uint64(c.SubblockFactor)) {
+		return fmt.Errorf("core: subblock factor %d not a power of two in [2, 64]", c.SubblockFactor)
+	}
+	if !addr.IsPow2(uint64(c.Buckets)) {
+		return fmt.Errorf("core: bucket count %d not a power of two", c.Buckets)
+	}
+	if c.CostModel.LineSize == 0 {
+		c.CostModel = memcost.NewModel(0)
+	}
+	return nil
+}
+
+// Table is a clustered page table. It is safe for concurrent use: each
+// hash bucket carries a readers-writer lock, so range operations acquire a
+// single lock per page block (§3.1) while TLB-miss lookups on neighboring
+// blocks proceed in parallel.
+type Table struct {
+	cfg     Config
+	logSBF  uint
+	buckets []bucket
+
+	mu       sync.Mutex // guards counters below
+	stats    pagetable.Stats
+	nFull    uint64 // full (complete-subblock) nodes
+	nCompact uint64 // partial-subblock + superpage nodes
+	nSparse  uint64 // single-mapping sparse nodes (SparseNodes mode)
+	nMapped  uint64 // valid base-page translations
+}
+
+type bucket struct {
+	mu   sync.RWMutex
+	head *node
+}
+
+// New creates a clustered page table.
+func New(cfg Config) (*Table, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		cfg:     cfg,
+		logSBF:  addr.Log2(uint64(cfg.SubblockFactor)),
+		buckets: make([]bucket, cfg.Buckets),
+	}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements pagetable.PageTable.
+func (t *Table) Name() string { return "clustered" }
+
+// SubblockFactor returns the configured pages-per-block.
+func (t *Table) SubblockFactor() int { return t.cfg.SubblockFactor }
+
+// LogSBF returns log2 of the subblock factor.
+func (t *Table) LogSBF() uint { return t.logSBF }
+
+// Buckets returns the hash bucket count.
+func (t *Table) Buckets() int { return t.cfg.Buckets }
+
+// fullNodeBytes is the paper size of a complete-subblock node: 8s+16.
+func (t *Table) fullNodeBytes() uint64 {
+	return headerBytes + uint64(t.cfg.SubblockFactor)*pte.WordBytes
+}
+
+func (t *Table) bucketFor(vpbn addr.VPBN) *bucket {
+	return &t.buckets[pagetable.BucketIndex(pagetable.HashVPN(uint64(vpbn)), t.cfg.Buckets)]
+}
+
+// Size implements pagetable.PageTable. PTE bytes follow the paper's
+// accounting: (8s+16) per full node, 24 per compact or sparse node; the
+// bucket array is fixed overhead excluded from the Figure 9/10
+// normalization.
+func (t *Table) Size() pagetable.Size {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return pagetable.Size{
+		PTEBytes: t.nFull*t.fullNodeBytes() +
+			(t.nCompact+t.nSparse)*compactNodeBytes,
+		FixedBytes: uint64(t.cfg.Buckets) * 8,
+		Nodes:      t.nFull + t.nCompact + t.nSparse,
+		Mappings:   t.nMapped,
+	}
+}
+
+// Stats implements pagetable.PageTable.
+func (t *Table) Stats() pagetable.Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// AuditSize recomputes the size accounting by walking every bucket,
+// independently of the incremental counters Size reports. The two must
+// agree; the fuzz suite asserts it after long mixed-operation runs.
+func (t *Table) AuditSize() pagetable.Size {
+	var sz pagetable.Size
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.RLock()
+		for nd := b.head; nd != nil; nd = nd.next {
+			sz.Nodes++
+			sz.PTEBytes += nd.paperBytes(t.fullNodeBytes())
+			sz.Mappings += nd.mappedPages(t.cfg.SubblockFactor)
+		}
+		b.mu.RUnlock()
+	}
+	sz.FixedBytes = uint64(t.cfg.Buckets) * 8
+	return sz
+}
+
+// ChainStats reports hash-chain occupancy: the load factor α =
+// nodes/buckets and the longest chain. The average successful search cost
+// approaches 1 + α/2 nodes (Appendix Table 2, [Knut68]).
+func (t *Table) ChainStats() (alpha float64, maxChain int) {
+	var nodes uint64
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.RLock()
+		n := 0
+		for nd := b.head; nd != nil; nd = nd.next {
+			n++
+		}
+		b.mu.RUnlock()
+		nodes += uint64(n)
+		if n > maxChain {
+			maxChain = n
+		}
+	}
+	return float64(nodes) / float64(t.cfg.Buckets), maxChain
+}
+
+var (
+	_ pagetable.PageTable       = (*Table)(nil)
+	_ pagetable.SuperpageMapper = (*Table)(nil)
+	_ pagetable.PartialMapper   = (*Table)(nil)
+	_ pagetable.BlockReader     = (*Table)(nil)
+)

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func newTable(t *testing.T, cfg Config) *Table {
+	t.Helper()
+	tab, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tab := newTable(t, Config{})
+	if tab.SubblockFactor() != 16 || tab.Buckets() != 4096 {
+		t.Errorf("defaults = s=%d buckets=%d", tab.SubblockFactor(), tab.Buckets())
+	}
+	if tab.LogSBF() != 4 {
+		t.Errorf("LogSBF = %d", tab.LogSBF())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SubblockFactor: 3},
+		{SubblockFactor: 1},
+		{SubblockFactor: 128},
+		{Buckets: 100},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad config")
+		}
+	}()
+	MustNew(Config{SubblockFactor: 5})
+}
+
+func TestMapLookupUnmap(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.Map(0x41, 0x77, pte.AttrR|pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(0x41034)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if e.PPN != 0x77 || e.Size != addr.Size4K || e.Kind != pte.KindBase {
+		t.Errorf("entry = %v", e)
+	}
+	if e.PA(0x41034) != addr.PAOf(0x77)+0x34 {
+		t.Errorf("PA = %v", e.PA(0x41034))
+	}
+	if cost.Nodes != 1 || cost.Lines != 1 {
+		t.Errorf("cost = %+v, want 1 node / 1 line", cost)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(0x41034); ok {
+		t.Error("lookup hit after unmap")
+	}
+	sz := tab.Size()
+	if sz.Nodes != 0 || sz.Mappings != 0 || sz.PTEBytes != 0 {
+		t.Errorf("size after unmap = %+v", sz)
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.Map(0x41, 1, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Map(0x41, 2, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("double map err = %v", err)
+	}
+}
+
+func TestUnmapUnmapped(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.Unmap(0x41); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBlockSharing(t *testing.T) {
+	// Sixteen pages of one block share a single node: the §3 memory
+	// argument.
+	tab := newTable(t, Config{})
+	for i := addr.VPN(0); i < 16; i++ {
+		if err := tab.Map(0x40+i, 0x100+addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", sz.Nodes)
+	}
+	if sz.Mappings != 16 {
+		t.Errorf("mappings = %d", sz.Mappings)
+	}
+	// 8s+16 = 144 bytes for s=16 (Table 2).
+	if sz.PTEBytes != 144 {
+		t.Errorf("PTE bytes = %d, want 144", sz.PTEBytes)
+	}
+	for i := addr.VPN(0); i < 16; i++ {
+		e, _, ok := tab.Lookup(addr.VAOf(0x40 + i))
+		if !ok || e.PPN != 0x100+addr.PPN(i) {
+			t.Errorf("page %d: ok=%v entry=%v", i, ok, e)
+		}
+	}
+}
+
+func TestPaperSizeCrossover(t *testing.T) {
+	// §3: with subblock factor 16, a clustered page table uses the same
+	// memory as a hashed page table when six mappings are used (6×24 =
+	// 144 = 8·16+16) and about one third when all sixteen are used.
+	tab := newTable(t, Config{})
+	for i := addr.VPN(0); i < 6; i++ {
+		if err := tab.Map(i, addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clustered := tab.Size().PTEBytes
+	hashed := uint64(6 * 24)
+	if clustered != hashed {
+		t.Errorf("at 6 mappings clustered=%d hashed=%d", clustered, hashed)
+	}
+	for i := addr.VPN(6); i < 16; i++ {
+		if err := tab.Map(i, addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ratio := float64(tab.Size().PTEBytes) / float64(16*24)
+	if ratio < 0.3 || ratio > 0.4 {
+		t.Errorf("full-block ratio = %v, want ~1/3", ratio)
+	}
+}
+
+func TestChainTraversalCost(t *testing.T) {
+	// Force collisions with a 1-bucket table; each non-matching node on
+	// the chain costs one line (tag+next), the matching node costs one
+	// more touch in the same or another line.
+	tab := newTable(t, Config{Buckets: 1, SubblockFactor: 16})
+	blocks := []addr.VPN{0x40, 0x80, 0xc0} // three distinct blocks
+	for _, base := range blocks {
+		if err := tab.Map(base, addr.PPN(base), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The chain is LIFO: the last-inserted block is first.
+	_, cost, ok := tab.Lookup(addr.VAOf(0xc0))
+	if !ok || cost.Nodes != 1 {
+		t.Errorf("head lookup cost = %+v ok=%v", cost, ok)
+	}
+	_, cost, ok = tab.Lookup(addr.VAOf(0x40))
+	if !ok || cost.Nodes != 3 {
+		t.Errorf("tail lookup cost = %+v ok=%v", cost, ok)
+	}
+	if cost.Lines != 3 {
+		t.Errorf("tail lookup lines = %d, want 3 (one per node, 256B lines)", cost.Lines)
+	}
+	// Failed lookups scan the whole chain.
+	_, cost, ok = tab.Lookup(addr.VAOf(0x100))
+	if ok || cost.Nodes != 3 {
+		t.Errorf("failed lookup cost = %+v ok=%v", cost, ok)
+	}
+	st := tab.Stats()
+	if st.Lookups != 3 || st.LookupFails != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLineCrossing128(t *testing.T) {
+	// With 128-byte lines a s=16 node spans two lines; looking up block
+	// offsets 14 and 15 touches the second line (§6.3).
+	tab := newTable(t, Config{CostModel: memcost.NewModel(128)})
+	for i := addr.VPN(0); i < 16; i++ {
+		if err := tab.Map(i, addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := addr.VPN(0); i < 16; i++ {
+		_, cost, ok := tab.Lookup(addr.VAOf(i))
+		want := 1
+		if i >= 14 {
+			want = 2
+		}
+		if !ok || cost.Lines != want {
+			t.Errorf("offset %d: lines = %d, want %d", i, cost.Lines, want)
+		}
+	}
+}
+
+func TestMapPartial(t *testing.T) {
+	tab := newTable(t, Config{})
+	// Pages 0,2,15 of block 4 resident in a properly-placed frame block
+	// starting at frame 0x40.
+	valid := uint16(1)<<0 | 1<<2 | 1<<15
+	if err := tab.MapPartial(4, 0x40, pte.AttrR|pte.AttrW, valid); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.PTEBytes != 24 || sz.Mappings != 3 {
+		t.Errorf("size = %+v", sz)
+	}
+	e, cost, ok := tab.Lookup(addr.VAOf(0x42)) // block 4 offset 2
+	if !ok || e.PPN != 0x42 || e.Kind != pte.KindPartial || e.ValidMask != valid {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+	if cost.Lines != 1 {
+		t.Errorf("psb lookup lines = %d", cost.Lines)
+	}
+	// A hole in the valid vector faults.
+	if _, _, ok := tab.Lookup(addr.VAOf(0x41)); ok {
+		t.Error("hole in psb hit")
+	}
+}
+
+func TestMapPartialValidation(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if err := tab.MapPartial(4, 0x41, pte.AttrR, 1); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("unaligned base err = %v", err)
+	}
+	tab8 := newTable(t, Config{SubblockFactor: 8})
+	if err := tab8.MapPartial(4, 0x40, pte.AttrR, 1<<9); err == nil {
+		t.Error("vector wider than factor accepted")
+	}
+	tab32 := newTable(t, Config{SubblockFactor: 32})
+	if err := tab32.MapPartial(4, 0x40, pte.AttrR, 1); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("factor-32 psb err = %v", err)
+	}
+}
+
+func TestPartialOverlapRejected(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.Map(0x42, 0x99, pte.AttrR); err != nil { // block 4 offset 2
+		t.Fatal(err)
+	}
+	err := tab.MapPartial(4, 0x40, pte.AttrR, 1<<2)
+	if !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("overlapping psb err = %v", err)
+	}
+	// Non-overlapping psb coexists on the same chain (mixed formats, §5).
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 1<<3); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x43)); !ok || e.PPN != 0x43 {
+		t.Errorf("psb page = %v ok=%v", e, ok)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x42)); !ok || e.PPN != 0x99 {
+		t.Errorf("base page = %v ok=%v", e, ok)
+	}
+}
+
+func TestPSBAbsorbsCompatibleMap(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Properly-placed frame, matching protection: extends the vector.
+	if err := tab.Map(0x45, 0x45, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.PTEBytes != 24 || sz.Mappings != 2 {
+		t.Errorf("size = %+v, want single compact node", sz)
+	}
+	if k, ok := tab.BlockKind(4); !ok || k != pte.KindPartial {
+		t.Errorf("BlockKind = %v ok=%v", k, ok)
+	}
+}
+
+func TestPSBDemotedByIncompatibleMap(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong frame: the block can no longer use a psb PTE.
+	if err := tab.Map(0x45, 0x99, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.PTEBytes != 144 {
+		t.Errorf("size = %+v, want full node", sz)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x40)); !ok || e.PPN != 0x40 {
+		t.Errorf("old psb page lost: %v ok=%v", e, ok)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x45)); !ok || e.PPN != 0x99 {
+		t.Errorf("new page = %v ok=%v", e, ok)
+	}
+}
+
+func TestUnmapPSBPage(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Unmap(0x40); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x40)); ok {
+		t.Error("unmapped psb page still hits")
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x41)); !ok || e.PPN != 0x41 {
+		t.Errorf("remaining psb page = %v ok=%v", e, ok)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 0 || sz.Mappings != 0 {
+		t.Errorf("size after psb drained = %+v", sz)
+	}
+}
+
+func TestBlockSuperpage(t *testing.T) {
+	tab := newTable(t, Config{})
+	// One 64KB superpage = exactly one page block at s=16.
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR|pte.AttrX, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.PTEBytes != 24 || sz.Mappings != 16 {
+		t.Errorf("size = %+v", sz)
+	}
+	e, cost, ok := tab.Lookup(0x41034)
+	if !ok || e.Kind != pte.KindSuperpage || e.Size != addr.Size64K {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if e.PPN != 0x101 {
+		t.Errorf("faulting frame = %#x, want 0x101", uint64(e.PPN))
+	}
+	if cost.Lines != 1 {
+		t.Errorf("superpage lookup lines = %d (the §5 no-extra-penalty property)", cost.Lines)
+	}
+}
+
+func TestLargeSuperpageReplicatedPerCluster(t *testing.T) {
+	tab := newTable(t, Config{})
+	// A 1MB superpage covers 256 pages = 16 blocks; §5 replicates once
+	// per clustered PTE, i.e. 16 compact nodes instead of 256 base PTEs.
+	if err := tab.MapSuperpage(0x1000, 0x2000, pte.AttrR, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 16 || sz.PTEBytes != 16*24 || sz.Mappings != 256 {
+		t.Errorf("size = %+v", sz)
+	}
+	// Every covered page translates through its replica.
+	for _, vpn := range []addr.VPN{0x1000, 0x1011, 0x10ff} {
+		e, cost, ok := tab.Lookup(addr.VAOf(vpn))
+		if !ok || e.Size != addr.Size1M {
+			t.Fatalf("vpn %#x entry = %v ok=%v", uint64(vpn), e, ok)
+		}
+		want := 0x2000 + addr.PPN(vpn-0x1000)
+		if e.PPN != want {
+			t.Errorf("vpn %#x frame = %#x, want %#x", uint64(vpn), uint64(e.PPN), uint64(want))
+		}
+		if cost.Nodes != 1 {
+			t.Errorf("vpn %#x cost = %+v", uint64(vpn), cost)
+		}
+	}
+	// Removal is all-or-nothing.
+	if err := tab.Unmap(0x1000); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("base unmap of large superpage err = %v", err)
+	}
+	if err := tab.UnmapSuperpage(0x1000, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	if sz := tab.Size(); sz.Nodes != 0 || sz.Mappings != 0 {
+		t.Errorf("size after unmap = %+v", sz)
+	}
+}
+
+func TestSubBlockSuperpage(t *testing.T) {
+	tab := newTable(t, Config{})
+	// A 16KB superpage occupies 4 slots of one block's node (§5's "two
+	// 8KB superpages in one node" generalized).
+	if err := tab.MapSuperpage(0x44, 0x204, pte.AttrR, addr.Size16K); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.PTEBytes != 144 || sz.Mappings != 4 {
+		t.Errorf("size = %+v", sz)
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x46))
+	if !ok || e.Size != addr.Size16K || e.PPN != 0x206 {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+	// Base pages coexist in the same node.
+	if err := tab.Map(0x41, 0x99, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if sz := tab.Size(); sz.Nodes != 1 || sz.Mappings != 5 {
+		t.Errorf("mixed node size = %+v", sz)
+	}
+	// Overlap with the superpage is rejected.
+	if err := tab.Map(0x45, 0x99, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("overlap err = %v", err)
+	}
+}
+
+func TestSubBlockSuperpageUnmapDemotes(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapSuperpage(0x44, 0x204, pte.AttrR, addr.Size16K); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapping one page re-expands the rest into base pages.
+	if err := tab.Unmap(0x45); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x45)); ok {
+		t.Error("unmapped page hits")
+	}
+	for _, vpn := range []addr.VPN{0x44, 0x46, 0x47} {
+		e, _, ok := tab.Lookup(addr.VAOf(vpn))
+		if !ok || e.Kind != pte.KindBase || e.PPN != 0x200+addr.PPN(vpn-0x40) {
+			t.Errorf("vpn %#x after demote = %v ok=%v", uint64(vpn), e, ok)
+		}
+	}
+	if sz := tab.Size(); sz.Mappings != 3 {
+		t.Errorf("mappings = %d", sz.Mappings)
+	}
+}
+
+func TestUnmapBlockSuperpageDemotesToPSB(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapping one base page turns the superpage into a psb PTE with
+	// fifteen of sixteen pages — the §4.3 intermediate format.
+	if err := tab.Unmap(0x47); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := tab.BlockKind(4); !ok || k != pte.KindPartial {
+		t.Errorf("BlockKind = %v ok=%v", k, ok)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x47)); ok {
+		t.Error("unmapped page hits")
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x48))
+	if !ok || e.PPN != 0x108 || e.Kind != pte.KindPartial {
+		t.Errorf("psb page = %v ok=%v", e, ok)
+	}
+	if sz := tab.Size(); sz.Mappings != 15 || sz.PTEBytes != 24 {
+		t.Errorf("size = %+v", sz)
+	}
+}
+
+func TestSuperpageValidation(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapSuperpage(0x41, 0x100, pte.AttrR, addr.Size64K); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("unaligned vpn err = %v", err)
+	}
+	if err := tab.MapSuperpage(0x40, 0x101, pte.AttrR, addr.Size64K); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("unaligned ppn err = %v", err)
+	}
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size(12345)); err == nil {
+		t.Error("invalid size accepted")
+	}
+}
+
+func TestSuperpageConflictRollsBack(t *testing.T) {
+	tab := newTable(t, Config{})
+	// Occupy a page inside the third block of a would-be 1MB superpage.
+	if err := tab.Map(0x1021, 0x9, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	err := tab.MapSuperpage(0x1000, 0x2000, pte.AttrR, addr.Size1M)
+	if !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Fatalf("conflicting superpage err = %v", err)
+	}
+	// Earlier replicas were rolled back: block 0x100 has nothing.
+	if _, _, ok := tab.Lookup(addr.VAOf(0x1000)); ok {
+		t.Error("stale replica left behind")
+	}
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.Mappings != 1 {
+		t.Errorf("size = %+v", sz)
+	}
+}

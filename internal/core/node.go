@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/bits"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// nodeKind distinguishes the physical layouts a chain node can take.
+type nodeKind uint8
+
+const (
+	// nodeFull is the clustered PTE of Figure 7 (top): a complete-
+	// subblock node with one mapping word per base page in the block.
+	// Sub-block superpages (e.g. two 8KB superpages in a 16KB block, §5)
+	// are stored as superpage words replicated at each covered slot, so
+	// lookup still reads exactly mapping[Boff].
+	nodeFull nodeKind = iota
+	// nodeCompact is a 24-byte node holding a single partial-subblock or
+	// superpage mapping word (Figure 7 center/bottom). Superpages larger
+	// than the page block are stored by replicating one compact node per
+	// covered block (§5 "replicate once per clustered PTE").
+	nodeCompact
+	// nodeSparse is the variable-subblock-factor generalization (§3): a
+	// 24-byte node holding one base mapping word, with the block offset
+	// of that mapping kept alongside the tag. Only created when
+	// Config.SparseNodes is set.
+	nodeSparse
+)
+
+// node is one element of a hash chain. The byte-accounting view is:
+//
+//	offset 0:  VPBN tag   (8 bytes)
+//	offset 8:  next       (8 bytes)
+//	offset 16: mapping words (8 bytes each; 1 for compact/sparse nodes)
+type node struct {
+	vpbn addr.VPBN
+	next *node
+	kind nodeKind
+	// sparseOff is the block offset covered by a sparse node's single
+	// word; in a real implementation it rides in unused high tag bits.
+	sparseOff uint64
+	// words holds s mapping words for full nodes, 1 for compact/sparse.
+	words []pte.Word
+}
+
+// paperBytes is the node's size under the paper's accounting.
+func (n *node) paperBytes(fullBytes uint64) uint64 {
+	if n.kind == nodeFull {
+		return fullBytes
+	}
+	return compactNodeBytes
+}
+
+// mappedPages counts valid base-page translations represented by the node.
+func (n *node) mappedPages(sbf int) uint64 {
+	switch n.kind {
+	case nodeSparse:
+		if n.words[0].Valid() {
+			return 1
+		}
+		return 0
+	case nodeCompact:
+		w := n.words[0]
+		if !w.Valid() {
+			return 0
+		}
+		if w.Kind() == pte.KindPartial {
+			return uint64(bits.OnesCount16(w.ValidMask()))
+		}
+		// Superpage node: within this block it covers min(size, block)
+		// pages; larger superpages are replicated once per block, so
+		// charging sbf pages per replica sums to the superpage size.
+		pages := w.Size().Pages()
+		if pages > uint64(sbf) {
+			pages = uint64(sbf)
+		}
+		return pages
+	default:
+		var c uint64
+		for i, w := range n.words {
+			if !w.Valid() {
+				continue
+			}
+			// A sub-block superpage word is replicated at each covered
+			// slot; each slot stands for one base page, so counting
+			// slots counts pages exactly once.
+			_ = i
+			c++
+		}
+		return c
+	}
+}
+
+// wordAt returns the mapping word a lookup at block offset boff reads,
+// the byte offset of that word within the node, and whether the word
+// covers the offset. For compact nodes the single word is at byte 16; the
+// S field then tells the handler how to interpret it (§5's
+//
+//	return ptr->mapping[0].S ? ptr->mapping[0] : ptr->mapping[Boff]
+//
+// dispatch). A false return means the handler must keep searching the
+// chain: the paper's mixed-size support requires continuing after a tag
+// match that fails to find a valid mapping.
+func (n *node) wordAt(boff uint64) (w pte.Word, byteOff int, covers bool) {
+	switch n.kind {
+	case nodeCompact:
+		w = n.words[0]
+		if !w.Valid() {
+			return w, 16, false
+		}
+		if w.Kind() == pte.KindPartial {
+			return w, 16, w.ValidAt(boff)
+		}
+		return w, 16, true // superpage covers the whole block (or more)
+	case nodeSparse:
+		w = n.words[0]
+		return w, 16, w.Valid() && n.sparseOff == boff
+	default:
+		w = n.words[int(boff)]
+		return w, 16 + int(boff)*pte.WordBytes, w.Valid()
+	}
+}
+
+// empty reports whether the node carries no valid mapping and can be
+// unlinked.
+func (n *node) empty() bool {
+	for _, w := range n.words {
+		if w.Valid() {
+			return false
+		}
+	}
+	return true
+}

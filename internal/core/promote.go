@@ -1,0 +1,167 @@
+package core
+
+import (
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// Promotion is the outcome of TryPromote.
+type Promotion int
+
+// Promotion outcomes.
+const (
+	// PromoteNone means the block's mappings cannot use a compact format.
+	PromoteNone Promotion = iota
+	// PromotePartial means the block now uses a partial-subblock PTE.
+	PromotePartial
+	// PromoteSuperpage means the block now uses a superpage PTE.
+	PromoteSuperpage
+)
+
+// String names the promotion outcome.
+func (p Promotion) String() string {
+	switch p {
+	case PromotePartial:
+		return "partial-subblock"
+	case PromoteSuperpage:
+		return "superpage"
+	default:
+		return "none"
+	}
+}
+
+// TryPromote examines page block vpbn and, if its base mappings are
+// properly placed with uniform protection, replaces the full clustered
+// node with a compact partial-subblock node — or a superpage node when
+// every page in the block is resident. This is the incremental promotion
+// §5 highlights: because a clustered node gathers the whole block's
+// mappings, noticing that all of them are valid (and compatible) is a
+// single-node scan, where other page tables would probe per base page.
+func (t *Table) TryPromote(vpbn addr.VPBN) Promotion {
+	if t.cfg.SubblockFactor > 16 {
+		return PromoteNone // no valid-vector wide enough (§4.3)
+	}
+	b := t.bucketFor(vpbn)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	sbfMask := uint16(1)<<t.cfg.SubblockFactor - 1
+	if t.cfg.SubblockFactor == 16 {
+		sbfMask = ^uint16(0)
+	}
+	// A fully-valid partial-subblock node upgrades straight to a
+	// superpage node: the psb PTE is the natural intermediate format on
+	// the way to a superpage (§4.3, §5).
+	if psb, _ := b.findNode(vpbn, func(n *node) bool {
+		return n.kind == nodeCompact && n.words[0].Valid() &&
+			n.words[0].Kind() == pte.KindPartial
+	}); psb != nil {
+		w := psb.words[0]
+		if w.ValidMask() != sbfMask {
+			return PromoteNone
+		}
+		size := addr.Size(uint64(t.cfg.SubblockFactor) * addr.BasePageSize)
+		psb.words[0] = pte.MakeSuperpage(w.PPN(), w.Attr(), size)
+		return PromoteSuperpage
+	}
+
+	nd, _ := b.findNode(vpbn, func(n *node) bool { return n.kind == nodeFull })
+	if nd == nil {
+		return PromoteNone
+	}
+	base, valid, attr, ok := t.properPlacement(nd)
+	if !ok || valid == 0 {
+		return PromoteNone
+	}
+
+	sbf := t.cfg.SubblockFactor
+	allValid := valid == uint16(1)<<sbf-1 || (sbf == 16 && valid == ^uint16(0))
+	if allValid {
+		size := addr.Size(uint64(sbf) * addr.BasePageSize)
+		nd.kind = nodeCompact
+		nd.words = []pte.Word{pte.MakeSuperpage(base, attr, size)}
+		t.account(-1, 1, 0, 0)
+		return PromoteSuperpage
+	}
+	nd.kind = nodeCompact
+	nd.words = []pte.Word{pte.MakePartial(base, attr, valid, t.logSBF)}
+	t.account(-1, 1, 0, 0)
+	return PromotePartial
+}
+
+// properPlacement checks whether every valid word of a full node is a
+// base mapping at its properly-placed frame: frame(i) = B + i for a
+// block-aligned B, with one shared protection. It returns B, the valid
+// vector and the common attributes; the status bits (REF, MOD) are the
+// union across pages, since the compact word shares one status per block
+// and losing a set bit would break page replacement and writeback.
+func (t *Table) properPlacement(nd *node) (base addr.PPN, valid uint16, attr pte.Attr, ok bool) {
+	first := true
+	for i, w := range nd.words {
+		if !w.Valid() {
+			continue
+		}
+		if w.Kind() != pte.KindBase {
+			return 0, 0, 0, false // already holds a sub-block superpage
+		}
+		wantBase := w.PPN() - addr.PPN(i)
+		if first {
+			base = wantBase
+			attr = w.Attr()
+			first = false
+		} else if wantBase != base || w.Attr().Protection() != attr.Protection() {
+			return 0, 0, 0, false
+		} else {
+			attr |= w.Attr() & (pte.AttrRef | pte.AttrMod)
+		}
+		valid |= 1 << i
+	}
+	if first {
+		return 0, 0, 0, false // empty node
+	}
+	if uint64(base)&(uint64(t.cfg.SubblockFactor)-1) != 0 {
+		return 0, 0, 0, false // frame block not aligned: not properly placed
+	}
+	return base, valid, attr, true
+}
+
+// Demote expands the compact PTE of block vpbn (partial-subblock or
+// block-sized superpage) back into a full node of base words. It reports
+// whether a demotion happened.
+func (t *Table) Demote(vpbn addr.VPBN) bool {
+	b := t.bucketFor(vpbn)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nd, _ := b.findNode(vpbn, func(n *node) bool {
+		return n.kind == nodeCompact && n.words[0].Valid()
+	})
+	if nd == nil {
+		return false
+	}
+	if w := nd.words[0]; w.Kind() == pte.KindSuperpage && w.Size().Pages() > uint64(t.cfg.SubblockFactor) {
+		return false // large replicated superpages demote via UnmapSuperpage
+	}
+	t.demoteCompactLocked(nd, nd.words[0])
+	return true
+}
+
+// BlockKind reports how block vpbn is currently represented: the mapping
+// word kind of its covering PTE, and ok=false if nothing is mapped. Full
+// nodes report KindBase.
+func (t *Table) BlockKind(vpbn addr.VPBN) (pte.Kind, bool) {
+	b := t.bucketFor(vpbn)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for nd := b.head; nd != nil; nd = nd.next {
+		if nd.vpbn != vpbn || nd.empty() {
+			continue
+		}
+		switch nd.kind {
+		case nodeCompact:
+			return nd.words[0].Kind(), true
+		default:
+			return pte.KindBase, true
+		}
+	}
+	return pte.KindBase, false
+}

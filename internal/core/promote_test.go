@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+func TestTryPromoteToSuperpage(t *testing.T) {
+	tab := newTable(t, Config{})
+	// Sixteen properly-placed pages with one protection.
+	for i := addr.VPN(0); i < 16; i++ {
+		if err := tab.Map(0x40+i, 0x100+addr.PPN(i), pte.AttrR|pte.AttrW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.TryPromote(4); got != PromoteSuperpage {
+		t.Fatalf("TryPromote = %v", got)
+	}
+	sz := tab.Size()
+	if sz.PTEBytes != 24 || sz.Mappings != 16 {
+		t.Errorf("size after promotion = %+v", sz)
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x45))
+	if !ok || e.Size != addr.Size64K || e.PPN != 0x105 {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+}
+
+func TestTryPromoteToPartial(t *testing.T) {
+	tab := newTable(t, Config{})
+	// Twelve of sixteen pages, properly placed.
+	for i := addr.VPN(0); i < 12; i++ {
+		if err := tab.Map(0x40+i, 0x100+addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.TryPromote(4); got != PromotePartial {
+		t.Fatalf("TryPromote = %v", got)
+	}
+	if sz := tab.Size(); sz.PTEBytes != 24 || sz.Mappings != 12 {
+		t.Errorf("size = %+v", sz)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x4c)); ok {
+		t.Error("unpopulated page hits after psb promotion")
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x4b)); !ok || e.PPN != 0x10b {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+}
+
+func TestTryPromoteRejectsImproperPlacement(t *testing.T) {
+	tab := newTable(t, Config{})
+	tab.Map(0x40, 0x100, pte.AttrR)
+	tab.Map(0x41, 0x107, pte.AttrR) // wrong offset within frame block
+	if got := tab.TryPromote(4); got != PromoteNone {
+		t.Errorf("TryPromote = %v", got)
+	}
+}
+
+func TestTryPromoteRejectsMixedProtection(t *testing.T) {
+	tab := newTable(t, Config{})
+	tab.Map(0x40, 0x100, pte.AttrR)
+	tab.Map(0x41, 0x101, pte.AttrR|pte.AttrW)
+	if got := tab.TryPromote(4); got != PromoteNone {
+		t.Errorf("TryPromote = %v", got)
+	}
+}
+
+func TestTryPromoteRejectsUnalignedFrameBlock(t *testing.T) {
+	tab := newTable(t, Config{})
+	// Contiguous but the frame run starts at 0x101: not block aligned,
+	// so the block is not properly placed (§4.1).
+	for i := addr.VPN(0); i < 16; i++ {
+		tab.Map(0x40+i, 0x101+addr.PPN(i), pte.AttrR)
+	}
+	if got := tab.TryPromote(4); got != PromoteNone {
+		t.Errorf("TryPromote = %v", got)
+	}
+}
+
+func TestTryPromoteIgnoresStatusBits(t *testing.T) {
+	// REF/MOD differences must not block promotion: only protection has
+	// to match.
+	tab := newTable(t, Config{})
+	for i := addr.VPN(0); i < 16; i++ {
+		a := pte.AttrR
+		if i%2 == 0 {
+			a |= pte.AttrRef
+		}
+		tab.Map(0x40+i, 0x100+addr.PPN(i), a)
+	}
+	if got := tab.TryPromote(4); got != PromoteSuperpage {
+		t.Errorf("TryPromote = %v", got)
+	}
+}
+
+func TestTryPromoteEmptyOrMissing(t *testing.T) {
+	tab := newTable(t, Config{})
+	if got := tab.TryPromote(7); got != PromoteNone {
+		t.Errorf("TryPromote on empty = %v", got)
+	}
+	tab32 := newTable(t, Config{SubblockFactor: 32})
+	for i := addr.VPN(0); i < 32; i++ {
+		tab32.Map(i, addr.PPN(i), pte.AttrR)
+	}
+	if got := tab32.TryPromote(0); got != PromoteNone {
+		t.Errorf("factor-32 TryPromote = %v (no wide-enough valid vector)", got)
+	}
+}
+
+func TestPromotionIsIncremental(t *testing.T) {
+	// The §5 scenario: populate a psb block page by page, promote to a
+	// superpage once full — all within one node.
+	tab := newTable(t, Config{})
+	for i := addr.VPN(0); i < 16; i++ {
+		if err := tab.Map(0x40+i, 0x100+addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+		if i == 7 {
+			if got := tab.TryPromote(4); got != PromotePartial {
+				t.Fatalf("mid promotion = %v", got)
+			}
+			// Later Maps absorb into the psb node.
+		}
+	}
+	if k, _ := tab.BlockKind(4); k != pte.KindPartial {
+		t.Fatalf("kind before final promotion = %v", k)
+	}
+	// The fully-valid psb node upgrades straight to a superpage (§4.3's
+	// "natural intermediate format").
+	if got := tab.TryPromote(4); got != PromoteSuperpage {
+		t.Errorf("psb block promotion = %v, want superpage", got)
+	}
+	if k, _ := tab.BlockKind(4); k != pte.KindSuperpage {
+		t.Errorf("final kind = %v", k)
+	}
+	if sz := tab.Size(); sz.Mappings != 16 {
+		t.Errorf("mappings = %d", sz.Mappings)
+	}
+	for i := addr.VPN(0); i < 16; i++ {
+		if e, _, ok := tab.Lookup(addr.VAOf(0x40 + i)); !ok || e.PPN != 0x100+addr.PPN(i) {
+			t.Errorf("page %d after upgrade = %v ok=%v", i, e, ok)
+		}
+	}
+}
+
+func TestDemote(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Demote(4) {
+		t.Fatal("Demote = false")
+	}
+	if sz := tab.Size(); sz.PTEBytes != 144 || sz.Mappings != 16 {
+		t.Errorf("size = %+v", sz)
+	}
+	for i := addr.VPN(0); i < 16; i++ {
+		e, _, ok := tab.Lookup(addr.VAOf(0x40 + i))
+		if !ok || e.Kind != pte.KindBase || e.PPN != 0x100+addr.PPN(i) {
+			t.Errorf("page %d after demote = %v ok=%v", i, e, ok)
+		}
+	}
+	if tab.Demote(4) {
+		t.Error("second Demote = true")
+	}
+	if tab.Demote(99) {
+		t.Error("Demote of empty block = true")
+	}
+}
+
+func TestDemotePSB(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0b101); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Demote(4) {
+		t.Fatal("Demote = false")
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x42)); !ok || e.Kind != pte.KindBase || e.PPN != 0x42 {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x41)); ok {
+		t.Error("hole hits after demote")
+	}
+}
+
+func TestDemoteLargeSuperpageRefused(t *testing.T) {
+	tab := newTable(t, Config{})
+	if err := tab.MapSuperpage(0x1000, 0x2000, pte.AttrR, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Demote(0x100) {
+		t.Error("Demote of replicated large superpage succeeded")
+	}
+}
+
+func TestPromotionString(t *testing.T) {
+	for _, p := range []Promotion{PromoteNone, PromotePartial, PromoteSuperpage} {
+		if p.String() == "" {
+			t.Errorf("Promotion(%d).String empty", p)
+		}
+	}
+}

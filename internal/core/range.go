@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+// ProtectRange implements pagetable.PageTable: it sets and clears
+// attribute bits on every mapping in r. A clustered page table searches
+// the hash table once per page block rather than once per base page, so
+// range operations are a factor of the subblock factor cheaper than on a
+// hashed page table (§3.1). Changing the protection of part of a compact
+// PTE's coverage demotes it first, since a single word can carry only one
+// attribute set.
+func (t *Table) ProtectRange(r addr.Range, set, clear pte.Attr) (pagetable.WalkCost, error) {
+	var cost pagetable.WalkCost
+	var firstErr error
+	r.Blocks(t.logSBF, func(vpbn addr.VPBN, lo, hi uint64) bool {
+		b := t.bucketFor(vpbn)
+		b.mu.Lock()
+		nodes := t.protectBlockLocked(b, vpbn, lo, hi, set, clear)
+		b.mu.Unlock()
+		cost.Probes++
+		cost.Nodes += nodes
+		return true
+	})
+	return cost, firstErr
+}
+
+// protectBlockLocked applies the attribute change to block offsets
+// [lo, hi] of block vpbn and returns the chain nodes visited.
+func (t *Table) protectBlockLocked(b *bucket, vpbn addr.VPBN, lo, hi uint64, set, clear pte.Attr) int {
+	nodes := 0
+	fullMask := t.offsetMask(0, uint64(t.cfg.SubblockFactor)-1)
+	opMask := t.offsetMask(lo, hi)
+	for nd := b.head; nd != nil; nd = nd.next {
+		nodes++
+		if nd.vpbn != vpbn {
+			continue
+		}
+		switch nd.kind {
+		case nodeSparse:
+			if w := nd.words[0]; w.Valid() && nd.sparseOff >= lo && nd.sparseOff <= hi {
+				nd.words[0] = w.WithAttr(w.Attr()&^clear | set)
+			}
+		case nodeCompact:
+			w := nd.words[0]
+			if !w.Valid() {
+				continue
+			}
+			covered := fullMask
+			if w.Kind() == pte.KindPartial {
+				covered = uint64(w.ValidMask())
+			}
+			if covered&opMask == 0 {
+				continue
+			}
+			if covered&^opMask == 0 ||
+				(w.Kind() == pte.KindSuperpage && w.Size().Pages() <= uint64(t.cfg.SubblockFactor) && opMask&fullMask == fullMask) {
+				// The operation covers the PTE's whole residence in this
+				// block: update in place.
+				nd.words[0] = w.WithAttr(w.Attr()&^clear | set)
+				continue
+			}
+			// Partial coverage: demote, then fall through to per-word
+			// updates on the next pass over this node's new layout.
+			t.demoteCompactLocked(nd, w)
+			t.protectFullWords(nd, lo, hi, set, clear)
+		default:
+			t.protectFullWords(nd, lo, hi, set, clear)
+		}
+	}
+	return nodes
+}
+
+// protectFullWords updates base words in [lo, hi]; sub-block superpage
+// words are updated once per replica (identical words stay identical) and
+// demoted if only partially covered.
+func (t *Table) protectFullWords(nd *node, lo, hi uint64, set, clear pte.Attr) {
+	for boff := lo; boff <= hi && boff < uint64(len(nd.words)); boff++ {
+		w := nd.words[boff]
+		if !w.Valid() {
+			continue
+		}
+		if w.Kind() == pte.KindSuperpage {
+			pages := w.Size().Pages()
+			first := boff &^ (pages - 1)
+			if first < lo || first+pages-1 > hi {
+				// Partially covered sub-block superpage: demote to base
+				// words, then update the covered ones.
+				for i := uint64(0); i < pages; i++ {
+					nd.words[first+i] = pte.MakeBase(w.PPN()+addr.PPN(i), w.Attr())
+				}
+				w = nd.words[boff]
+			}
+		}
+		nd.words[boff] = w.WithAttr(w.Attr()&^clear | set)
+	}
+}
+
+// demoteCompactLocked expands a compact node (psb or block superpage) into
+// a full node of base words in place. Caller holds the bucket write lock.
+func (t *Table) demoteCompactLocked(nd *node, w pte.Word) {
+	sbf := uint64(t.cfg.SubblockFactor)
+	words := make([]pte.Word, sbf)
+	switch w.Kind() {
+	case pte.KindPartial:
+		for i := uint64(0); i < sbf; i++ {
+			if w.ValidAt(i) {
+				words[i] = pte.MakeBase(w.PPNAt(i), w.Attr())
+			}
+		}
+	case pte.KindSuperpage:
+		if w.Size().Pages() > sbf {
+			// Replicated large superpage: this replica's frames start at
+			// the superpage frame plus the block's offset within it.
+			blockOff := uint64(nd.vpbn) & (w.Size().Pages()/sbf - 1)
+			base := w.PPN() + addr.PPN(blockOff*sbf)
+			for i := uint64(0); i < sbf; i++ {
+				words[i] = pte.MakeBase(base+addr.PPN(i), w.Attr())
+			}
+		} else {
+			for i := uint64(0); i < sbf; i++ {
+				words[i] = pte.MakeBase(w.PPN()+addr.PPN(i), w.Attr())
+			}
+		}
+	}
+	nd.kind = nodeFull
+	nd.words = words
+	t.account(1, -1, 0, 0)
+}
+
+// offsetMask builds the bit mask of block offsets [lo, hi].
+func (t *Table) offsetMask(lo, hi uint64) uint64 {
+	width := hi - lo + 1
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<width - 1) << lo
+}
+
+// VisitRange calls fn for every valid base-page translation in r, in
+// ascending VPN order within each block. It is the inspection primitive
+// the OS uses for operations like msync and copy-on-write scans; like
+// ProtectRange it probes the hash table once per page block.
+func (t *Table) VisitRange(r addr.Range, fn func(vpn addr.VPN, e pte.Entry) bool) {
+	stop := false
+	r.Blocks(t.logSBF, func(vpbn addr.VPBN, lo, hi uint64) bool {
+		b := t.bucketFor(vpbn)
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		for boff := lo; boff <= hi; boff++ {
+			vpn := addr.BlockJoin(vpbn, boff, t.logSBF)
+			for nd := b.head; nd != nil; nd = nd.next {
+				if nd.vpbn != vpbn {
+					continue
+				}
+				if w, _, covers := nd.wordAt(boff); covers {
+					if !fn(vpn, pte.EntryFromWord(w, vpn, boff)) {
+						stop = true
+						return false
+					}
+					break
+				}
+			}
+		}
+		return !stop
+	})
+}
+
+// blockString renders one block's chain for debugging.
+func (t *Table) blockString(vpbn addr.VPBN) string {
+	b := t.bucketFor(vpbn)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s := fmt.Sprintf("block %#x:", uint64(vpbn))
+	for nd := b.head; nd != nil; nd = nd.next {
+		if nd.vpbn != vpbn {
+			continue
+		}
+		s += fmt.Sprintf(" node(kind=%d words=%v)", nd.kind, nd.words)
+	}
+	return s
+}

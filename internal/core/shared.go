@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+// ASID identifies an address space in a shared page table. §7: "A
+// typical multiprogramming operating system maintains one page table per
+// process or associates a process id with each PTE in a shared page
+// table", and hashed/clustered tables are "especially suited to single
+// address space and segmented systems" with one shared table.
+type ASID uint16
+
+// Shared is a clustered page table shared by many address spaces: the
+// ASID participates in the tag, so one bucket array and one pool of
+// nodes serve every process. The implementation folds the ASID into
+// otherwise-unused high virtual-address bits — our workloads use 32-bit
+// layouts inside the 52-bit VPN space, exactly the "global effective
+// virtual addresses" trick of segmented systems (HP PA, PowerPC).
+type Shared struct {
+	tab *Table
+	// vaBits is the per-process virtual address width; addresses at or
+	// above 1<<vaBits collide with the ASID fold and are rejected.
+	vaBits uint
+}
+
+// NewShared creates a shared clustered page table for per-process
+// spaces of vaBits bits (default 48).
+func NewShared(cfg Config, vaBits uint) (*Shared, error) {
+	if vaBits == 0 {
+		vaBits = 48
+	}
+	if vaBits < addr.BasePageShift+1 || vaBits > 60 {
+		return nil, fmt.Errorf("core: shared table vaBits %d out of range", vaBits)
+	}
+	tab, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{tab: tab, vaBits: vaBits}, nil
+}
+
+// MustNewShared is NewShared for known-good configurations.
+func MustNewShared(cfg Config, vaBits uint) *Shared {
+	s, err := NewShared(cfg, vaBits)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name identifies the organization.
+func (s *Shared) Name() string { return "clustered-shared" }
+
+// Table exposes the underlying clustered table (for chain statistics —
+// §7 notes the shared table's hash distribution depends on the whole
+// process mix).
+func (s *Shared) Table() *Table { return s.tab }
+
+// fold translates (asid, va) into the shared table's global address.
+func (s *Shared) fold(asid ASID, va addr.V) (addr.V, error) {
+	if uint64(va)>>s.vaBits != 0 {
+		return 0, fmt.Errorf("core: va %v exceeds the %d-bit process space", va, s.vaBits)
+	}
+	return va | addr.V(uint64(asid))<<s.vaBits, nil
+}
+
+func (s *Shared) foldVPN(asid ASID, vpn addr.VPN) (addr.VPN, error) {
+	va, err := s.fold(asid, addr.VAOf(vpn))
+	if err != nil {
+		return 0, err
+	}
+	return addr.VPNOf(va), nil
+}
+
+// Lookup services a TLB miss for one address space.
+func (s *Shared) Lookup(asid ASID, va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
+	g, err := s.fold(asid, va)
+	if err != nil {
+		return pte.Entry{}, pagetable.WalkCost{}, false
+	}
+	e, cost, ok := s.tab.Lookup(g)
+	if ok {
+		// Report the per-process page number back to the caller.
+		e.VPN = addr.VPNOf(va)
+	}
+	return e, cost, ok
+}
+
+// Map installs a base-page mapping for one address space.
+func (s *Shared) Map(asid ASID, vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
+	g, err := s.foldVPN(asid, vpn)
+	if err != nil {
+		return err
+	}
+	return s.tab.Map(g, ppn, attr)
+}
+
+// Unmap removes one address space's mapping.
+func (s *Shared) Unmap(asid ASID, vpn addr.VPN) error {
+	g, err := s.foldVPN(asid, vpn)
+	if err != nil {
+		return err
+	}
+	return s.tab.Unmap(g)
+}
+
+// MapSuperpage installs a superpage for one address space.
+func (s *Shared) MapSuperpage(asid ASID, vpn addr.VPN, ppn addr.PPN, attr pte.Attr, size addr.Size) error {
+	g, err := s.foldVPN(asid, vpn)
+	if err != nil {
+		return err
+	}
+	return s.tab.MapSuperpage(g, ppn, attr, size)
+}
+
+// ProtectRange applies an attribute change over one address space's
+// range.
+func (s *Shared) ProtectRange(asid ASID, r addr.Range, set, clear pte.Attr) (pagetable.WalkCost, error) {
+	g, err := s.fold(asid, r.Start)
+	if err != nil {
+		return pagetable.WalkCost{}, err
+	}
+	return s.tab.ProtectRange(addr.Range{Start: g, Len: r.Len}, set, clear)
+}
+
+// DestroySpace removes every mapping belonging to an address space —
+// process teardown against a shared table. Rather than sweeping the
+// (enormous) per-process virtual range, it scans the bucket array for
+// nodes tagged with the space's fold, which is proportional to table
+// size — the teardown cost a real shared-table OS pays. It returns the
+// number of base pages removed.
+func (s *Shared) DestroySpace(asid ASID) uint64 {
+	base, _ := s.fold(asid, 0)
+	loBlock, _ := addr.BlockSplit(addr.VPNOf(base), s.tab.logSBF)
+	hiBlock, _ := addr.BlockSplit(addr.VPNOf(base+addr.V(uint64(1)<<s.vaBits-1)), s.tab.logSBF)
+
+	// Collect the space's populated blocks under read locks.
+	var blocks []addr.VPBN
+	for i := range s.tab.buckets {
+		b := &s.tab.buckets[i]
+		b.mu.RLock()
+		for nd := b.head; nd != nil; nd = nd.next {
+			if nd.vpbn >= loBlock && nd.vpbn <= hiBlock {
+				blocks = append(blocks, nd.vpbn)
+			}
+		}
+		b.mu.RUnlock()
+	}
+	var removed uint64
+	for _, vpbn := range blocks {
+		first := addr.BlockJoin(vpbn, 0, s.tab.logSBF)
+		var vpns []addr.VPN
+		s.tab.VisitRange(addr.PageRange(addr.VAOf(first), uint64(s.tab.cfg.SubblockFactor)),
+			func(vpn addr.VPN, _ pte.Entry) bool {
+				vpns = append(vpns, vpn)
+				return true
+			})
+		for _, vpn := range vpns {
+			if err := s.tab.Unmap(vpn); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Size reports the shared table's memory — one bucket array for every
+// process, the economy §7 attributes to shared tables on large servers.
+func (s *Shared) Size() pagetable.Size { return s.tab.Size() }

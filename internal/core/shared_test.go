@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+func TestSharedIsolation(t *testing.T) {
+	s := MustNewShared(Config{}, 48)
+	// Two processes map the same virtual page to different frames.
+	if err := s.Map(1, 0x41, 0x100, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Map(2, 0x41, 0x200, pte.AttrR|pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	e1, _, ok1 := s.Lookup(1, 0x41034)
+	e2, _, ok2 := s.Lookup(2, 0x41034)
+	if !ok1 || !ok2 {
+		t.Fatal("lookup missed")
+	}
+	if e1.PPN != 0x100 || e2.PPN != 0x200 {
+		t.Errorf("frames = %#x %#x", uint64(e1.PPN), uint64(e2.PPN))
+	}
+	if e1.VPN != 0x41 || e2.VPN != 0x41 {
+		t.Errorf("per-process VPNs = %#x %#x", uint64(e1.VPN), uint64(e2.VPN))
+	}
+	// Unmapping one space leaves the other intact.
+	if err := s.Unmap(1, 0x41); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Lookup(1, 0x41034); ok {
+		t.Error("space 1 still mapped")
+	}
+	if _, _, ok := s.Lookup(2, 0x41034); !ok {
+		t.Error("space 2 lost")
+	}
+}
+
+func TestSharedSingleBucketArray(t *testing.T) {
+	// §7: on a server with many processes, one shared table amortizes
+	// the fixed bucket array that per-process tables each pay.
+	shared := MustNewShared(Config{}, 48)
+	const procs = 20
+	for p := ASID(0); p < procs; p++ {
+		for i := addr.VPN(0); i < 32; i++ {
+			if err := shared.Map(p, 0x40+i, addr.PPN(p)<<10|addr.PPN(i), pte.AttrR); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sharedFixed := shared.Size().FixedBytes
+	perProcessFixed := uint64(procs) * uint64(DefaultBuckets) * 8
+	if sharedFixed*procs != perProcessFixed {
+		t.Errorf("shared fixed %d, per-process total %d", sharedFixed, perProcessFixed)
+	}
+	if got := shared.Size().Mappings; got != procs*32 {
+		t.Errorf("mappings = %d", got)
+	}
+}
+
+func TestSharedSuperpageAndProtect(t *testing.T) {
+	s := MustNewShared(Config{}, 48)
+	if err := s.MapSuperpage(7, 0x40, 0x100, pte.AttrR|pte.AttrW, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := s.Lookup(7, addr.VAOf(0x45))
+	if !ok || e.Size != addr.Size64K || e.PPN != 0x105 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if _, _, ok := s.Lookup(8, addr.VAOf(0x45)); ok {
+		t.Error("superpage visible to another space")
+	}
+	if _, err := s.ProtectRange(7, addr.PageRange(addr.VAOf(0x40), 16), 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, _ := s.Lookup(7, addr.VAOf(0x45)); e.Attr.Has(pte.AttrW) {
+		t.Error("still writable")
+	}
+}
+
+func TestSharedDestroySpace(t *testing.T) {
+	s := MustNewShared(Config{}, 48)
+	for i := addr.VPN(0); i < 40; i++ {
+		s.Map(3, i, addr.PPN(i)+1, pte.AttrR)
+		s.Map(4, i, addr.PPN(i)+1000, pte.AttrR)
+	}
+	if got := s.DestroySpace(3); got != 40 {
+		t.Errorf("removed = %d", got)
+	}
+	if _, _, ok := s.Lookup(3, 0); ok {
+		t.Error("space 3 survives")
+	}
+	for i := addr.VPN(0); i < 40; i++ {
+		if _, _, ok := s.Lookup(4, addr.VAOf(i)); !ok {
+			t.Fatalf("space 4 lost page %d", i)
+		}
+	}
+	if got := s.DestroySpace(3); got != 0 {
+		t.Errorf("second destroy removed %d", got)
+	}
+}
+
+func TestSharedAddressBounds(t *testing.T) {
+	s := MustNewShared(Config{}, 32)
+	if err := s.Map(1, addr.VPNOf(1<<32), 1, pte.AttrR); err == nil {
+		t.Error("out-of-space va accepted")
+	}
+	if _, _, ok := s.Lookup(1, 1<<32); ok {
+		t.Error("out-of-space lookup hit")
+	}
+	if _, err := NewShared(Config{}, 61); err == nil {
+		t.Error("vaBits 61 accepted")
+	}
+	if _, err := NewShared(Config{SubblockFactor: 3}, 48); err == nil {
+		t.Error("bad inner config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewShared did not panic")
+		}
+	}()
+	MustNewShared(Config{SubblockFactor: 3}, 48)
+}
+
+func TestSharedChainMixing(t *testing.T) {
+	// The §7 caveat: the shared table's hash distribution depends on the
+	// whole process mix. With a tiny bucket count, chains carry nodes
+	// from many spaces; lookups still resolve correctly.
+	s := MustNewShared(Config{Buckets: 4}, 48)
+	for p := ASID(0); p < 8; p++ {
+		for i := addr.VPN(0); i < 8; i++ {
+			if err := s.Map(p, i<<4, addr.PPN(p)*100+addr.PPN(i), pte.AttrR); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	alpha, maxChain := s.Table().ChainStats()
+	if alpha != 16 {
+		t.Errorf("alpha = %v", alpha)
+	}
+	if maxChain < 8 {
+		t.Errorf("maxChain = %d, expected long mixed chains", maxChain)
+	}
+	for p := ASID(0); p < 8; p++ {
+		for i := addr.VPN(0); i < 8; i++ {
+			e, _, ok := s.Lookup(p, addr.VAOf(i<<4))
+			if !ok || e.PPN != addr.PPN(p)*100+addr.PPN(i) {
+				t.Fatalf("space %d page %d: %v ok=%v", p, i, e, ok)
+			}
+		}
+	}
+}

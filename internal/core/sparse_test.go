@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+func TestSparseNodeSingleMapping(t *testing.T) {
+	// The §3 variable-subblock-factor generalization: one mapping in a
+	// block costs 24 bytes, not 144.
+	tab := newTable(t, Config{SparseNodes: true})
+	if err := tab.Map(0x47, 0x99, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	sz := tab.Size()
+	if sz.PTEBytes != 24 || sz.Nodes != 1 || sz.Mappings != 1 {
+		t.Errorf("size = %+v", sz)
+	}
+	e, cost, ok := tab.Lookup(addr.VAOf(0x47))
+	if !ok || e.PPN != 0x99 || cost.Lines != 1 {
+		t.Errorf("entry = %v cost=%+v ok=%v", e, cost, ok)
+	}
+	// The same block's other offsets miss.
+	if _, _, ok := tab.Lookup(addr.VAOf(0x46)); ok {
+		t.Error("neighbor offset hit through sparse node")
+	}
+}
+
+func TestSparseNodeWidensOnSecondMapping(t *testing.T) {
+	tab := newTable(t, Config{SparseNodes: true})
+	tab.Map(0x47, 0x99, pte.AttrR)
+	tab.Map(0x41, 0x88, pte.AttrR)
+	sz := tab.Size()
+	if sz.Nodes != 1 || sz.PTEBytes != 144 {
+		t.Errorf("size = %+v, want one full node", sz)
+	}
+	for _, c := range []struct {
+		vpn addr.VPN
+		ppn addr.PPN
+	}{{0x47, 0x99}, {0x41, 0x88}} {
+		if e, _, ok := tab.Lookup(addr.VAOf(c.vpn)); !ok || e.PPN != c.ppn {
+			t.Errorf("vpn %#x = %v ok=%v", uint64(c.vpn), e, ok)
+		}
+	}
+}
+
+func TestSparseNodeUnmapFrees(t *testing.T) {
+	tab := newTable(t, Config{SparseNodes: true})
+	tab.Map(0x47, 0x99, pte.AttrR)
+	if err := tab.Unmap(0x47); err != nil {
+		t.Fatal(err)
+	}
+	if sz := tab.Size(); sz.Nodes != 0 || sz.PTEBytes != 0 {
+		t.Errorf("size = %+v", sz)
+	}
+}
+
+func TestSparseNodeDoubleMapRejected(t *testing.T) {
+	tab := newTable(t, Config{SparseNodes: true})
+	tab.Map(0x47, 0x99, pte.AttrR)
+	if err := tab.Map(0x47, 0x11, pte.AttrR); err == nil {
+		t.Error("double map through sparse node accepted")
+	}
+}
+
+func TestSparseNodeProtectRange(t *testing.T) {
+	tab := newTable(t, Config{SparseNodes: true})
+	tab.Map(0x47, 0x99, pte.AttrR|pte.AttrW)
+	if _, err := tab.ProtectRange(addr.PageRange(addr.VAOf(0x40), 16), 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	e, _, _ := tab.Lookup(addr.VAOf(0x47))
+	if e.Attr.Has(pte.AttrW) {
+		t.Error("sparse node attr not updated")
+	}
+}
+
+func TestSparseVsFullMemory(t *testing.T) {
+	// An address space of isolated single pages: sparse nodes use 1/6 of
+	// the memory of full nodes.
+	mkTable := func(sparse bool) *Table {
+		tab := MustNew(Config{SparseNodes: sparse})
+		for i := 0; i < 100; i++ {
+			vpn := addr.VPN(i * 64) // distinct blocks
+			if err := tab.Map(vpn, addr.PPN(i), pte.AttrR); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tab
+	}
+	sparse := mkTable(true).Size().PTEBytes
+	full := mkTable(false).Size().PTEBytes
+	if sparse != 100*24 || full != 100*144 {
+		t.Errorf("sparse=%d full=%d", sparse, full)
+	}
+}
+
+func TestChainStats(t *testing.T) {
+	tab := newTable(t, Config{Buckets: 16})
+	for i := 0; i < 64; i++ {
+		vpn := addr.VPN(i) << 4 // 64 distinct blocks
+		if err := tab.Map(vpn, addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alpha, maxChain := tab.ChainStats()
+	if alpha != 4.0 {
+		t.Errorf("alpha = %v, want 4.0", alpha)
+	}
+	if maxChain < 1 || maxChain > 64 {
+		t.Errorf("maxChain = %d", maxChain)
+	}
+}
+
+func TestConcurrentMapLookup(t *testing.T) {
+	// Per-bucket locking must allow concurrent lookups and inserts on
+	// different blocks (§3.1). Run with -race.
+	tab := newTable(t, Config{})
+	const workers = 8
+	const pagesPer = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := addr.VPN(w) << 20
+			for i := addr.VPN(0); i < pagesPer; i++ {
+				if err := tab.Map(base+i, addr.PPN(i)+1, pte.AttrR); err != nil {
+					t.Error(err)
+					return
+				}
+				if e, _, ok := tab.Lookup(addr.VAOf(base + i)); !ok || e.PPN != addr.PPN(i)+1 {
+					t.Errorf("worker %d lost page %d", w, i)
+					return
+				}
+			}
+			// Concurrent range op over our own region.
+			if _, err := tab.ProtectRange(addr.PageRange(addr.VAOf(base), pagesPer), pte.AttrRef, 0); err != nil {
+				t.Error(err)
+			}
+			for i := addr.VPN(0); i < pagesPer; i++ {
+				if err := tab.Unmap(base + i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sz := tab.Size(); sz.Mappings != 0 || sz.Nodes != 0 {
+		t.Errorf("final size = %+v", sz)
+	}
+}
+
+// TestRandomOpsAgainstModel drives the table with a random operation
+// sequence and cross-checks every state against a flat map model.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{SubblockFactor: 4, Buckets: 8},
+		{SubblockFactor: 8, Buckets: 2, SparseNodes: true},
+	} {
+		tab := newTable(t, cfg)
+		model := map[addr.VPN]addr.PPN{}
+		rng := rand.New(rand.NewSource(42))
+		const space = 1 << 10 // VPNs 0..1023
+		for step := 0; step < 5000; step++ {
+			vpn := addr.VPN(rng.Intn(space))
+			switch rng.Intn(3) {
+			case 0: // map
+				ppn := addr.PPN(rng.Intn(1 << 20))
+				err := tab.Map(vpn, ppn, pte.AttrR)
+				if _, exists := model[vpn]; exists {
+					if err == nil {
+						t.Fatalf("cfg %+v step %d: double map of %#x accepted", cfg, step, uint64(vpn))
+					}
+				} else if err != nil {
+					t.Fatalf("cfg %+v step %d: map failed: %v", cfg, step, err)
+				} else {
+					model[vpn] = ppn
+				}
+			case 1: // unmap
+				err := tab.Unmap(vpn)
+				if _, exists := model[vpn]; exists {
+					if err != nil {
+						t.Fatalf("cfg %+v step %d: unmap failed: %v", cfg, step, err)
+					}
+					delete(model, vpn)
+				} else if err == nil {
+					t.Fatalf("cfg %+v step %d: unmap of unmapped %#x succeeded", cfg, step, uint64(vpn))
+				}
+			case 2: // lookup
+				e, _, ok := tab.Lookup(addr.VAOf(vpn))
+				want, exists := model[vpn]
+				if ok != exists {
+					t.Fatalf("cfg %+v step %d: lookup(%#x) ok=%v want %v", cfg, step, uint64(vpn), ok, exists)
+				}
+				if ok && e.PPN != want {
+					t.Fatalf("cfg %+v step %d: lookup(%#x) = %#x want %#x",
+						cfg, step, uint64(vpn), uint64(e.PPN), uint64(want))
+				}
+			}
+		}
+		if got := tab.Size().Mappings; got != uint64(len(model)) {
+			t.Errorf("cfg %+v: mapping count %d, model %d", cfg, got, len(model))
+		}
+	}
+}
+
+// TestPromoteDemoteRoundTrip checks promotion/demotion preserves every
+// translation.
+func TestPromoteDemoteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tab := newTable(t, Config{})
+		populated := map[addr.VPN]addr.PPN{}
+		base := addr.PPN(rng.Intn(64)) << 4 // aligned frame block
+		n := 1 + rng.Intn(16)
+		offs := rng.Perm(16)[:n]
+		for _, o := range offs {
+			vpn := addr.VPN(0x40 + o)
+			ppn := base + addr.PPN(o)
+			if err := tab.Map(vpn, ppn, pte.AttrR); err != nil {
+				t.Fatal(err)
+			}
+			populated[vpn] = ppn
+		}
+		p := tab.TryPromote(4)
+		if n == 16 && p != PromoteSuperpage {
+			t.Fatalf("trial %d: full block promoted to %v", trial, p)
+		}
+		if n < 16 && p != PromotePartial {
+			t.Fatalf("trial %d: %d pages promoted to %v", trial, n, p)
+		}
+		check := func(stage string) {
+			for vpn, ppn := range populated {
+				e, _, ok := tab.Lookup(addr.VAOf(vpn))
+				if !ok || e.PPN != ppn {
+					t.Fatalf("trial %d %s: vpn %#x = %v ok=%v", trial, stage, uint64(vpn), e, ok)
+				}
+			}
+			for o := 0; o < 16; o++ {
+				vpn := addr.VPN(0x40 + o)
+				if _, exists := populated[vpn]; !exists {
+					if _, _, ok := tab.Lookup(addr.VAOf(vpn)); ok {
+						t.Fatalf("trial %d %s: hole %#x hits", trial, stage, uint64(vpn))
+					}
+				}
+			}
+		}
+		check("promoted")
+		if !tab.Demote(4) {
+			t.Fatalf("trial %d: demote failed", trial)
+		}
+		check("demoted")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func TestTieredBasePages(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	if err := tab.Map(0x41, 0x77, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(0x41034)
+	if !ok || e.PPN != 0x77 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	// Base pages cost one fine-tier probe only.
+	if cost.Probes != 1 {
+		t.Errorf("cost = %+v", cost)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredAllR4000Sizes(t *testing.T) {
+	// §7: two clustered tables cover 4KB..1MB and beyond (4MB, 16MB via
+	// per-block replication) — the full MIPS R4000 menu in one object.
+	tab := MustNewTiered(Config{})
+	layouts := []struct {
+		vpn  addr.VPN
+		ppn  addr.PPN
+		size addr.Size
+	}{
+		{0x1000000, 0x1000000, addr.Size4K},
+		{0x1100004, 0x1200004, addr.Size16K},
+		{0x1200010, 0x1300010, addr.Size64K},
+		{0x1300040, 0x1400040, addr.Size256K},
+		{0x1400100, 0x1500100, addr.Size1M},
+		{0x1800400, 0x1900400, addr.Size4M},
+		{0x2000000, 0x3000000, addr.Size16M},
+	}
+	for _, l := range layouts {
+		var err error
+		if l.size == addr.Size4K {
+			err = tab.Map(l.vpn, l.ppn, pte.AttrR)
+		} else {
+			err = tab.MapSuperpage(l.vpn, l.ppn, pte.AttrR, l.size)
+		}
+		if err != nil {
+			t.Fatalf("%v at %#x: %v", l.size, uint64(l.vpn), err)
+		}
+	}
+	for _, l := range layouts {
+		// Probe first, middle and last page of each mapping.
+		for _, off := range []uint64{0, l.size.Pages() / 2, l.size.Pages() - 1} {
+			vpn := l.vpn + addr.VPN(off)
+			e, _, ok := tab.Lookup(addr.VAOf(vpn))
+			if !ok {
+				t.Fatalf("%v: page %#x unmapped", l.size, uint64(vpn))
+			}
+			if e.PPN != l.ppn+addr.PPN(off) {
+				t.Errorf("%v: page %#x frame %#x want %#x", l.size, uint64(vpn), uint64(e.PPN), uint64(l.ppn)+off)
+			}
+			if e.Size != l.size {
+				t.Errorf("%v: entry size %v", l.size, e.Size)
+			}
+		}
+		// One page past the end faults.
+		if _, _, ok := tab.Lookup(addr.VAOf(l.vpn + addr.VPN(l.size.Pages()))); ok {
+			t.Errorf("%v: page past end mapped", l.size)
+		}
+	}
+}
+
+func TestTieredTwoTablesNotFive(t *testing.T) {
+	// The space argument: a 1MB superpage costs one 24-byte coarse node;
+	// a 4MB superpage costs four.
+	tab := MustNewTiered(Config{})
+	tab.MapSuperpage(0x1400100, 0x1500100, pte.AttrR, addr.Size1M)
+	sz := tab.Size()
+	if sz.PTEBytes != 24 {
+		t.Errorf("1MB superpage PTE bytes = %d, want 24", sz.PTEBytes)
+	}
+	tab.MapSuperpage(0x1800400, 0x1900400, pte.AttrR, addr.Size4M)
+	if got := tab.Size().PTEBytes; got != 24+4*24 {
+		t.Errorf("after 4MB superpage = %d, want 120", got)
+	}
+	if got := tab.Size().Mappings; got != 256+1024 {
+		t.Errorf("mappings = %d", got)
+	}
+}
+
+func TestTieredCoarseProbeCost(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	tab.MapSuperpage(0x1400100, 0x1500100, pte.AttrR, addr.Size1M)
+	_, cost, ok := tab.Lookup(addr.VAOf(0x1400150))
+	if !ok {
+		t.Fatal("miss")
+	}
+	// Fine-tier failed probe + coarse-tier hit: two probes total — vs
+	// up to five tables for conventional per-size organizations.
+	if cost.Probes != 2 {
+		t.Errorf("probes = %d", cost.Probes)
+	}
+}
+
+func TestTieredSubBlock256K(t *testing.T) {
+	// 256KB = 4 units: replicated within one coarse node.
+	tab := MustNewTiered(Config{})
+	if err := tab.MapSuperpage(0x1300040, 0x1400040, pte.AttrR, addr.Size256K); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Size().PTEBytes; got != coarseNodeBytes {
+		t.Errorf("PTE bytes = %d, want one full coarse node (%d)", got, coarseNodeBytes)
+	}
+	// A second 256KB superpage in the same 1MB block (64 pages along)
+	// shares the node.
+	if err := tab.MapSuperpage(0x1300040+64, 0x1400040+1024, pte.AttrR, addr.Size256K); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Size().PTEBytes; got != coarseNodeBytes {
+		t.Errorf("PTE bytes = %d after second 256KB superpage", got)
+	}
+	if err := tab.UnmapSuperpage(0x1300040, addr.Size256K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x1300041)); ok {
+		t.Error("hit after unmap")
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x1300040 + 64)); !ok || e.Size != addr.Size256K {
+		t.Errorf("second superpage lost: %v ok=%v", e, ok)
+	}
+}
+
+func TestTieredConflicts(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	tab.MapSuperpage(0x1400100, 0x1500100, pte.AttrR, addr.Size1M)
+	// A base map inside the 1MB superpage is rejected.
+	if err := tab.Map(0x1400150, 0x9, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("base map err = %v", err)
+	}
+	// Unmap of a covered base page points at UnmapSuperpage.
+	if err := tab.Unmap(0x1400150); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("unmap err = %v", err)
+	}
+	// Overlapping large superpage is rejected with rollback.
+	if err := tab.MapSuperpage(0x1400000, 0x1500000, pte.AttrR, addr.Size4M); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("overlap err = %v", err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x1400000)); ok {
+		t.Error("rollback left a replica")
+	}
+	if err := tab.UnmapSuperpage(0x1400100, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Size(); got.Mappings != 0 || got.Nodes != 0 {
+		t.Errorf("size = %+v", got)
+	}
+}
+
+func TestTieredMisalignedAndValidation(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	if err := tab.MapSuperpage(0x1400101, 0x1500100, pte.AttrR, addr.Size1M); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("err = %v", err)
+	}
+	if err := tab.MapSuperpage(0x1400100, 0x1500100, pte.AttrR, addr.Size(3<<12)); err == nil {
+		t.Error("invalid size accepted")
+	}
+	if err := tab.UnmapSuperpage(0x1400100, addr.Size1M); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("unmap missing err = %v", err)
+	}
+	if err := tab.UnmapSuperpage(0x1300040, addr.Size256K); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("unmap missing 256K err = %v", err)
+	}
+}
+
+func TestTieredProtectRange(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	tab.Map(0x1000000, 0x1, pte.AttrR|pte.AttrW)
+	tab.MapSuperpage(0x1400100, 0x1500100, pte.AttrR|pte.AttrW, addr.Size1M)
+	// Cover both the base page and the whole superpage.
+	r := addr.RangeOf(addr.VAOf(0x1000000), addr.VAOf(0x1400100+256))
+	if _, err := tab.ProtectRange(r, 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, _ := tab.Lookup(addr.VAOf(0x1000000)); e.Attr.Has(pte.AttrW) {
+		t.Error("base page still writable")
+	}
+	if e, _, _ := tab.Lookup(addr.VAOf(0x1400180)); e.Attr.Has(pte.AttrW) {
+		t.Error("superpage still writable")
+	}
+}
+
+func TestTieredPartialAndPromotion(t *testing.T) {
+	tab := MustNewTiered(Config{})
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x41)); !ok || e.Kind != pte.KindPartial {
+		t.Errorf("psb entry = %v ok=%v", e, ok)
+	}
+	// The fine tier remains reachable for promotion.
+	for i := addr.VPN(2); i < 16; i++ {
+		if err := tab.Map(0x40+i, 0x40+addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.Fine().TryPromote(4); got != PromoteSuperpage {
+		t.Errorf("promotion = %v", got)
+	}
+}

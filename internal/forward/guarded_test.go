@@ -1,0 +1,214 @@
+package forward
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func TestGuardedConfigValidation(t *testing.T) {
+	for _, bits := range []uint{3, 5, 14} {
+		if _, err := NewGuarded(GuardedConfig{IndexBits: bits}); err == nil {
+			t.Errorf("IndexBits %d accepted", bits)
+		}
+	}
+	for _, bits := range []uint{1, 2, 4, 13} {
+		if _, err := NewGuarded(GuardedConfig{IndexBits: bits}); err != nil {
+			t.Errorf("IndexBits %d rejected: %v", bits, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewGuarded did not panic")
+		}
+	}()
+	MustNewGuarded(GuardedConfig{IndexBits: 3})
+}
+
+func TestGuardedSingleMappingIsShallow(t *testing.T) {
+	// The whole point of guards: one isolated mapping in a 64-bit space
+	// resolves in one node, not seven.
+	g := MustNewGuarded(GuardedConfig{})
+	if err := g.Map(0x41, 0x77, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := g.Lookup(0x41034)
+	if !ok || e.PPN != 0x77 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if cost.Nodes != 1 || cost.Lines != 1 {
+		t.Errorf("cost = %+v, want a one-node walk", cost)
+	}
+}
+
+func TestGuardedDivergenceSplits(t *testing.T) {
+	g := MustNewGuarded(GuardedConfig{})
+	// Two addresses sharing a long prefix force a split near the
+	// divergence, not a full-depth chain.
+	g.Map(0x1000000000, 0x1, pte.AttrR)
+	g.Map(0x1000000001, 0x2, pte.AttrR)
+	for vpn, want := range map[addr.VPN]addr.PPN{0x1000000000: 1, 0x1000000001: 2} {
+		e, cost, ok := g.Lookup(addr.VAOf(vpn))
+		if !ok || e.PPN != want {
+			t.Fatalf("vpn %#x = %v ok=%v", uint64(vpn), e, ok)
+		}
+		// Divergence in the last bits: depth 2 (root + one split node),
+		// far below the 13-level uncompressed binary-radix walk.
+		if cost.Nodes != 2 {
+			t.Errorf("vpn %#x depth = %d", uint64(vpn), cost.Nodes)
+		}
+	}
+}
+
+func TestGuardedVsFixedDepth(t *testing.T) {
+	// §2: guarded tables are "partially effective": sparse scatter stays
+	// shallow; a dense region approaches the full walk depth but never
+	// exceeds it.
+	g := MustNewGuarded(GuardedConfig{})
+	f := MustNew(Config{}) // fixed 7-level walk
+	rng := rand.New(rand.NewSource(4))
+	var sparse []addr.VPN
+	for i := 0; i < 200; i++ {
+		vpn := addr.VPN(rng.Uint64() >> 13)
+		if err := g.Map(vpn, addr.PPN(i), pte.AttrR); err != nil {
+			continue // rare collision
+		}
+		f.Map(vpn, addr.PPN(i), pte.AttrR)
+		sparse = append(sparse, vpn)
+	}
+	var gd, fd int
+	for _, vpn := range sparse {
+		_, gc, ok := g.Lookup(addr.VAOf(vpn))
+		if !ok {
+			t.Fatalf("guarded lost %#x", uint64(vpn))
+		}
+		_, fc, _ := f.Lookup(addr.VAOf(vpn))
+		gd += gc.Nodes
+		fd += fc.Nodes
+	}
+	avgG := float64(gd) / float64(len(sparse))
+	avgF := float64(fd) / float64(len(sparse))
+	if avgG >= avgF/1.5 {
+		t.Errorf("guarded depth %.2f vs fixed %.2f: expected large compression on sparse scatter", avgG, avgF)
+	}
+	maxDepth := int(addr.VPNBits / 4)
+	for _, vpn := range sparse {
+		if d := g.Depth(vpn); d > maxDepth {
+			t.Errorf("depth %d beyond maximum %d", d, maxDepth)
+		}
+	}
+}
+
+func TestGuardedDoubleMapAndUnmap(t *testing.T) {
+	g := MustNewGuarded(GuardedConfig{})
+	g.Map(7, 1, pte.AttrR)
+	if err := g.Map(7, 2, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("err = %v", err)
+	}
+	if err := g.Unmap(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := g.Lookup(addr.VAOf(7)); ok {
+		t.Error("hit after unmap")
+	}
+	if err := g.Unmap(7); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("err = %v", err)
+	}
+	// Freed slot is reusable.
+	if err := g.Map(7, 3, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := g.Lookup(addr.VAOf(7)); !ok || e.PPN != 3 {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+}
+
+func TestGuardedProtectRange(t *testing.T) {
+	g := MustNewGuarded(GuardedConfig{})
+	for i := addr.VPN(0); i < 16; i++ {
+		g.Map(0x40+i, addr.PPN(i), pte.AttrR|pte.AttrW)
+	}
+	if _, err := g.ProtectRange(addr.PageRange(addr.VAOf(0x40), 8), 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	for i := addr.VPN(0); i < 16; i++ {
+		e, _, ok := g.Lookup(addr.VAOf(0x40 + i))
+		if !ok {
+			t.Fatalf("page %d lost", i)
+		}
+		if w := e.Attr.Has(pte.AttrW); w != (i >= 8) {
+			t.Errorf("page %d writable = %v", i, w)
+		}
+	}
+}
+
+func TestGuardedRandomAgainstModel(t *testing.T) {
+	g := MustNewGuarded(GuardedConfig{})
+	model := map[addr.VPN]addr.PPN{}
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 6000; step++ {
+		// Mix clustered neighborhoods and far scatter to force splits at
+		// every depth.
+		var vpn addr.VPN
+		if rng.Intn(2) == 0 {
+			vpn = addr.VPN(rng.Intn(512))
+		} else {
+			vpn = addr.VPN(rng.Uint64() >> 13)
+			vpn = vpn&^0xff | addr.VPN(rng.Intn(4)) // small bursts far away
+		}
+		switch rng.Intn(3) {
+		case 0:
+			ppn := addr.PPN(rng.Intn(1 << 20))
+			err := g.Map(vpn, ppn, pte.AttrR)
+			if _, exists := model[vpn]; exists != (err != nil) {
+				t.Fatalf("step %d: map exists=%v err=%v", step, exists, err)
+			}
+			if err == nil {
+				model[vpn] = ppn
+			}
+		case 1:
+			err := g.Unmap(vpn)
+			if _, exists := model[vpn]; exists != (err == nil) {
+				t.Fatalf("step %d: unmap exists=%v err=%v", step, exists, err)
+			}
+			delete(model, vpn)
+		default:
+			e, _, ok := g.Lookup(addr.VAOf(vpn))
+			want, exists := model[vpn]
+			if ok != exists || (ok && e.PPN != want) {
+				t.Fatalf("step %d: lookup mismatch at %#x", step, uint64(vpn))
+			}
+		}
+	}
+	if got := g.Size().Mappings; got != uint64(len(model)) {
+		t.Errorf("mappings = %d, model %d", got, len(model))
+	}
+	// Verify the entire model at the end.
+	for vpn, want := range model {
+		e, _, ok := g.Lookup(addr.VAOf(vpn))
+		if !ok || e.PPN != want {
+			t.Fatalf("final: vpn %#x = %v ok=%v want %#x", uint64(vpn), e, ok, uint64(want))
+		}
+	}
+}
+
+func TestGuardedSizeGrowsWithSplits(t *testing.T) {
+	g := MustNewGuarded(GuardedConfig{})
+	g.Map(0, 1, pte.AttrR)
+	one := g.Size()
+	if one.Nodes != 1 {
+		t.Errorf("nodes = %d", one.Nodes)
+	}
+	g.Map(1, 2, pte.AttrR) // adjacent: splits near the leaf
+	two := g.Size()
+	if two.Nodes <= one.Nodes {
+		t.Errorf("no split: %d -> %d", one.Nodes, two.Nodes)
+	}
+	if g.Name() != "forward-guarded" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}

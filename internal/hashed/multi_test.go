@@ -1,0 +1,386 @@
+package hashed
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func TestMultiBasePages(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.Map(0x41, 0x77, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(0x41034)
+	if !ok || e.PPN != 0x77 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	// Base-first order: base pages cost a single probe.
+	if cost.Probes != 1 {
+		t.Errorf("cost = %+v", cost)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(0x41034); ok {
+		t.Error("hit after unmap")
+	}
+}
+
+func TestMultiSuperpageCostsTwoProbes(t *testing.T) {
+	// §6.3: hashed tables take longer to access superpage PTEs because
+	// the 4KB table is searched first.
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(addr.VAOf(0x45))
+	if !ok || e.Size != addr.Size64K || e.PPN != 0x105 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if cost.Probes != 2 {
+		t.Errorf("probes = %d, want 2 (failed 4KB probe first)", cost.Probes)
+	}
+}
+
+func TestMultiSuperFirstOrder(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, SuperFirst)
+	tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K)
+	tab.Map(0x80, 0x9, pte.AttrR)
+	_, cost, ok := tab.Lookup(addr.VAOf(0x45))
+	if !ok || cost.Probes != 1 {
+		t.Errorf("superpage probes = %d ok=%v", cost.Probes, ok)
+	}
+	_, cost, ok = tab.Lookup(addr.VAOf(0x80))
+	if !ok || cost.Probes != 2 {
+		t.Errorf("base probes = %d ok=%v, super-first makes base pages pay", cost.Probes, ok)
+	}
+	if tab.Name() != "hashed-multi-superfirst" {
+		t.Errorf("Name = %q", tab.Name())
+	}
+}
+
+func TestMultiPartialSubblock(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0b101); err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x42))
+	if !ok || e.PPN != 0x42 || e.Kind != pte.KindPartial {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x41)); ok {
+		t.Error("psb hole hit")
+	}
+	// Compatible base map absorbs into the psb word.
+	if err := tab.Map(0x41, 0x41, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x41)); !ok || e.Kind != pte.KindPartial {
+		t.Errorf("absorbed page = %v ok=%v", e, ok)
+	}
+	// Incompatible map lands in the base table.
+	if err := tab.Map(0x43, 0x99, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x43)); !ok || e.Kind != pte.KindBase || e.PPN != 0x99 {
+		t.Errorf("base-table page = %v ok=%v", e, ok)
+	}
+}
+
+func TestMultiUnmapDemotesSuperpage(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K)
+	if err := tab.Unmap(0x47); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x47)); ok {
+		t.Error("unmapped page hits")
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x48))
+	if !ok || e.Kind != pte.KindPartial || e.PPN != 0x108 {
+		t.Errorf("psb page = %v ok=%v", e, ok)
+	}
+}
+
+func TestMultiPSBDrain(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	tab.MapPartial(4, 0x40, pte.AttrR, 0b11)
+	if err := tab.Unmap(0x40); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Unmap(0x41); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("err = %v", err)
+	}
+	if sz := tab.Size(); sz.Nodes != 0 || sz.Mappings != 0 {
+		t.Errorf("size = %+v", sz)
+	}
+}
+
+func TestMultiLargeSuperpageReplicas(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.MapSuperpage(0x1000, 0x2000, pte.AttrR, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	if sz := tab.Size(); sz.Nodes != 16 || sz.Mappings != 256 {
+		t.Errorf("size = %+v", sz)
+	}
+	e, _, ok := tab.Lookup(addr.VAOf(0x10ff))
+	if !ok || e.PPN != 0x20ff {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+	if err := tab.Unmap(0x1000); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("unmap err = %v", err)
+	}
+	if err := tab.UnmapSuperpage(0x1000, addr.Size1M); err != nil {
+		t.Fatal(err)
+	}
+	if sz := tab.Size(); sz.Nodes != 0 {
+		t.Errorf("size after removal = %+v", sz)
+	}
+}
+
+func TestMultiSubBlockSuperpageUnsupported(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.MapSuperpage(0x44, 0x204, pte.AttrR, addr.Size16K); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultiOverlapChecks(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	tab.Map(0x45, 0x9, pte.AttrR)
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("superpage over base err = %v", err)
+	}
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 1<<5); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("psb over base err = %v", err)
+	}
+	// Non-overlapping psb is fine.
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 1<<6); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Map(0x46, 0x1, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("base over psb err = %v", err)
+	}
+}
+
+func TestMultiProtectRange(t *testing.T) {
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	tab.Map(0x41, 0x9, pte.AttrR|pte.AttrW)
+	tab.MapSuperpage(0x80, 0x100, pte.AttrR|pte.AttrW, addr.Size64K)
+	if _, err := tab.ProtectRange(addr.PageRange(addr.VAOf(0x40), 80), 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, _ := tab.Lookup(addr.VAOf(0x41)); e.Attr.Has(pte.AttrW) {
+		t.Error("base page still writable")
+	}
+	if e, _, _ := tab.Lookup(addr.VAOf(0x85)); e.Attr.Has(pte.AttrW) {
+		t.Error("superpage still writable")
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := NewMulti(Config{}, 0, BaseFirst); err == nil {
+		t.Error("logSBF 0 accepted")
+	}
+	if _, err := NewMulti(Config{}, 7, BaseFirst); err == nil {
+		t.Error("logSBF 7 accepted")
+	}
+	tab := MustNewMulti(Config{}, 4, BaseFirst)
+	if err := tab.MapPartial(4, 0x41, pte.AttrR, 1); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("unaligned psb err = %v", err)
+	}
+	if err := tab.MapPartial(4, 0x40, pte.AttrR, 0); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if err := tab.MapSuperpage(0x41, 0x100, pte.AttrR, addr.Size64K); !errors.Is(err, pagetable.ErrMisaligned) {
+		t.Errorf("unaligned superpage err = %v", err)
+	}
+}
+
+func TestSPIndexBasics(t *testing.T) {
+	tab := MustNewSPIndex(Config{}, 4)
+	// Sixteen base pages of one region all chain to one bucket.
+	for i := addr.VPN(0); i < 16; i++ {
+		if err := tab.Map(0x40+i, 0x100+addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The deepest PTE (vpn 0x40, inserted first) is 16 nodes in: the
+	// long-chain penalty of §4.2.
+	_, cost, ok := tab.Lookup(addr.VAOf(0x40))
+	if !ok || cost.Nodes != 16 {
+		t.Errorf("cost = %+v ok=%v", cost, ok)
+	}
+	if sz := tab.Size(); sz.Mappings != 16 || sz.PTEBytes != 16*24 {
+		t.Errorf("size = %+v", sz)
+	}
+}
+
+func TestSPIndexMixedChain(t *testing.T) {
+	tab := MustNewSPIndex(Config{}, 4)
+	// A psb PTE replaces base PTEs on the same chain.
+	if err := tab.MapPartial(4, 0x100&^0xf, pte.AttrR, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	tab.Map(0x48, 0x99, pte.AttrR) // offset 8 lives as base PTE
+	e, _, ok := tab.Lookup(addr.VAOf(0x42))
+	if !ok || e.Kind != pte.KindPartial {
+		t.Errorf("psb entry = %v ok=%v", e, ok)
+	}
+	e, _, ok = tab.Lookup(addr.VAOf(0x48))
+	if !ok || e.Kind != pte.KindBase || e.PPN != 0x99 {
+		t.Errorf("base entry = %v ok=%v", e, ok)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x4f)); ok {
+		t.Error("hole hit")
+	}
+}
+
+func TestSPIndexSuperpage(t *testing.T) {
+	tab := MustNewSPIndex(Config{}, 4)
+	if err := tab.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(addr.VAOf(0x4a))
+	if !ok || e.Size != addr.Size64K || e.PPN != 0x10a {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	// Single probe — the one advantage over multiple tables.
+	if cost.Probes != 1 {
+		t.Errorf("probes = %d", cost.Probes)
+	}
+	if err := tab.MapSuperpage(0x44, 0, pte.AttrR, addr.Size16K); !errors.Is(err, pagetable.ErrUnsupported) {
+		t.Errorf("sub-block err = %v", err)
+	}
+}
+
+func TestSPIndexUnmapAndProtect(t *testing.T) {
+	tab := MustNewSPIndex(Config{}, 4)
+	tab.MapSuperpage(0x40, 0x100, pte.AttrR|pte.AttrW, addr.Size64K)
+	if err := tab.Unmap(0x43); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tab.Lookup(addr.VAOf(0x43)); ok {
+		t.Error("unmapped page hits")
+	}
+	if e, _, ok := tab.Lookup(addr.VAOf(0x44)); !ok || e.Kind != pte.KindPartial {
+		t.Errorf("entry = %v ok=%v", e, ok)
+	}
+	cost, err := tab.ProtectRange(addr.PageRange(addr.VAOf(0x40), 16), 0, pte.AttrW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Probes != 1 {
+		t.Errorf("probes = %d, want 1 per block", cost.Probes)
+	}
+	if e, _, _ := tab.Lookup(addr.VAOf(0x44)); e.Attr.Has(pte.AttrW) {
+		t.Error("still writable")
+	}
+	// Drain the psb entirely.
+	for i := addr.VPN(0); i < 16; i++ {
+		if i == 3 {
+			continue
+		}
+		if err := tab.Unmap(0x40 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sz := tab.Size(); sz.Nodes != 0 {
+		t.Errorf("size = %+v", sz)
+	}
+}
+
+func TestInvertedBasics(t *testing.T) {
+	tab := MustNewInverted(Config{Buckets: 64}, 1024)
+	if err := tab.Map(0x41, 0x77, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	e, cost, ok := tab.Lookup(0x41034)
+	if !ok || e.PPN != 0x77 {
+		t.Fatalf("entry = %v ok=%v", e, ok)
+	}
+	// Anchor dereference adds one line over the chain nodes.
+	if cost.Lines != 2 {
+		t.Errorf("lines = %d, want 2 (anchor + PTE)", cost.Lines)
+	}
+	if vpn, ok := tab.ReverseLookup(0x77); !ok || vpn != 0x41 {
+		t.Errorf("ReverseLookup = %#x ok=%v", uint64(vpn), ok)
+	}
+	if err := tab.Unmap(0x41); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.ReverseLookup(0x77); ok {
+		t.Error("reverse hit after unmap")
+	}
+}
+
+func TestInvertedOneMappingPerFrame(t *testing.T) {
+	tab := MustNewInverted(Config{Buckets: 64}, 256)
+	tab.Map(1, 7, pte.AttrR)
+	if err := tab.Map(2, 7, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("frame alias err = %v", err)
+	}
+	if err := tab.Map(1, 8, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("vpn alias err = %v", err)
+	}
+	if err := tab.Map(3, 999, pte.AttrR); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+}
+
+func TestInvertedSizeProportionalToFrames(t *testing.T) {
+	tab := MustNewInverted(Config{Buckets: 64}, 512)
+	sz := tab.Size()
+	if sz.Total() < 512*24 {
+		t.Errorf("total = %d, want ≥ frame array", sz.Total())
+	}
+	tab.Map(5, 5, pte.AttrR)
+	if got := tab.Size(); got.Total() != sz.Total() {
+		t.Errorf("total changed with population: %d -> %d", sz.Total(), got.Total())
+	}
+}
+
+func TestInvertedProtectRangeAndChains(t *testing.T) {
+	tab := MustNewInverted(Config{Buckets: 2}, 128)
+	for i := addr.VPN(0); i < 64; i++ {
+		if err := tab.Map(i, addr.PPN(i), pte.AttrR|pte.AttrW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tab.ProtectRange(addr.PageRange(0, 64), 0, pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	for i := addr.VPN(0); i < 64; i++ {
+		e, _, ok := tab.Lookup(addr.VAOf(i))
+		if !ok || e.Attr.Has(pte.AttrW) {
+			t.Errorf("page %d ok=%v attr=%v", i, ok, e.Attr)
+		}
+	}
+	// Unmap from the middle of a chain.
+	if err := tab.Unmap(30); err != nil {
+		t.Fatal(err)
+	}
+	for i := addr.VPN(0); i < 64; i++ {
+		_, _, ok := tab.Lookup(addr.VAOf(i))
+		if ok == (i == 30) {
+			t.Errorf("page %d ok=%v", i, ok)
+		}
+	}
+}
+
+func TestInvertedValidation(t *testing.T) {
+	if _, err := NewInverted(Config{}, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, ok := MustNewInverted(Config{}, 8).ReverseLookup(100); ok {
+		t.Error("out-of-range reverse lookup succeeded")
+	}
+}

@@ -1,0 +1,133 @@
+package memcost
+
+import "testing"
+
+func TestNewModelDefault(t *testing.T) {
+	if NewModel(0).LineSize != 256 {
+		t.Error("default line size not 256")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewModel(100) accepted")
+		}
+	}()
+	NewModel(100)
+}
+
+func TestSpan(t *testing.T) {
+	m := NewModel(256)
+	cases := []struct {
+		off, len, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 256, 1},
+		{0, 257, 2},
+		{255, 2, 2},
+		{16, 128, 1}, // clustered PTE mappings within one 256B line
+		{0, 144, 1},  // whole s=16 clustered PTE in one 256B line
+		{512, 8, 1},
+	}
+	for _, c := range cases {
+		if got := m.Span(c.off, c.len); got != c.want {
+			t.Errorf("Span(%d,%d) = %d, want %d", c.off, c.len, got, c.want)
+		}
+	}
+}
+
+// TestClusteredPTELineCrossing reproduces the §6.3 arithmetic: a subblock
+// factor 16 clustered PTE is 144 bytes (16-byte tag+next header, then 16
+// 8-byte mappings at offsets 16+8i). With 256-byte lines every mapping
+// shares the tag's line; with 128-byte lines mappings 14 and 15 spill into
+// a second line (2/16 = 0.125 extra lines on average); with 64-byte lines
+// mappings 6..15 spill (10/16 = 0.625).
+func TestClusteredPTELineCrossing(t *testing.T) {
+	for _, c := range []struct {
+		lineSize int
+		spills   int
+	}{
+		{256, 0}, {128, 2}, {64, 10},
+	} {
+		m := NewModel(c.lineSize)
+		spills := 0
+		for i := 0; i < 16; i++ {
+			var meter Meter
+			// One walk touching the tag (offset 0..15) and mapping i.
+			meter.Touch(m, [2]int{0, 16}, [2]int{16 + 8*i, 8})
+			switch meter.Lines() {
+			case 1:
+			case 2:
+				spills++
+			default:
+				t.Fatalf("line=%d mapping %d touched %d lines", c.lineSize, i, meter.Lines())
+			}
+		}
+		if spills != c.spills {
+			t.Errorf("line=%d: %d mappings spill, want %d", c.lineSize, spills, c.spills)
+		}
+	}
+}
+
+func TestMeterDedupWithinTouch(t *testing.T) {
+	m := NewModel(256)
+	var meter Meter
+	meter.Touch(m, [2]int{0, 8}, [2]int{8, 8}, [2]int{300, 8})
+	if meter.Lines() != 2 {
+		t.Errorf("Lines = %d, want 2", meter.Lines())
+	}
+	if meter.Refs() != 3 {
+		t.Errorf("Refs = %d, want 3", meter.Refs())
+	}
+}
+
+func TestMeterSeparateObjects(t *testing.T) {
+	m := NewModel(256)
+	var meter Meter
+	// Two distinct hash nodes: each on its own line even though offsets
+	// coincide.
+	meter.Touch(m, [2]int{0, 24})
+	meter.Touch(m, [2]int{0, 24})
+	if meter.Lines() != 2 {
+		t.Errorf("Lines = %d, want 2", meter.Lines())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var meter Meter
+	meter.AddLines(3)
+	meter.Reset()
+	if meter.Lines() != 0 || meter.Refs() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tally Tally
+	var meter Meter
+	meter.AddLines(2)
+	tally.Add(&meter)
+	tally.AddCost(4)
+	if tally.Events != 2 || tally.Lines != 6 {
+		t.Errorf("tally = %+v", tally)
+	}
+	if got := tally.AvgLines(tally.Events); got != 3 {
+		t.Errorf("AvgLines = %v", got)
+	}
+	if got := tally.AvgLines(0); got != 0 {
+		t.Errorf("AvgLines(0) = %v", got)
+	}
+	var other Tally
+	other.AddCost(1)
+	tally.Merge(other)
+	if tally.Events != 3 || tally.Lines != 7 {
+		t.Errorf("after merge = %+v", tally)
+	}
+}
+
+func TestTouchIgnoresEmptyRanges(t *testing.T) {
+	var meter Meter
+	meter.Touch(NewModel(256), [2]int{0, 0}, [2]int{8, -1})
+	if meter.Lines() != 0 || meter.Refs() != 0 {
+		t.Error("empty ranges counted")
+	}
+}

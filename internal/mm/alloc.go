@@ -1,0 +1,324 @@
+// Package mm is the operating-system memory-management substrate the
+// paper's evaluation depends on (§6.1): a physical memory allocator
+// implementing page reservation [Tall94] — aligned frame blocks reserved
+// per virtual page block so pages land properly placed — plus address
+// spaces with the dynamic page-size assignment policy that chooses between
+// 4KB base pages and 64KB superpages and creates partial-subblock PTEs
+// incrementally.
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"clusterpt/internal/addr"
+)
+
+// ErrOutOfMemory reports frame exhaustion.
+var ErrOutOfMemory = errors.New("mm: out of physical memory")
+
+// AllocStats counts allocator behaviour, the observables that determine
+// how effective superpages and partial-subblocking can be (§7 notes that
+// under memory pressure the OS may not place pages properly).
+type AllocStats struct {
+	// Placed counts frames handed out at their properly-placed slot.
+	Placed uint64
+	// Unplaced counts fallback frames with no placement guarantee.
+	Unplaced uint64
+	// Reservations counts aligned blocks reserved.
+	Reservations uint64
+	// Steals counts reservations broken to satisfy demand.
+	Steals uint64
+	// Frees counts frames returned.
+	Frees uint64
+}
+
+// resvKey identifies a reservation: virtual page blocks are per address
+// space, so the key carries a namespace — without it, two processes
+// sharing the allocator (fork, multiprogramming) would collide on equal
+// virtual addresses.
+type resvKey struct {
+	ns   uint64
+	vpbn addr.VPBN
+}
+
+// blockState tracks one aligned frame block.
+type blockState struct {
+	// owner is the (namespace, virtual block) holding a reservation here.
+	owner resvKey
+	// hasOwner marks an active reservation.
+	hasOwner bool
+	// usedMask marks allocated frames within the block.
+	usedMask uint64
+}
+
+// Allocator is a physical frame allocator with page reservation. Not
+// safe for concurrent use; callers (an address space) serialize.
+type Allocator struct {
+	frames  uint64
+	logSBF  uint
+	sbf     uint64
+	blocks  []blockState
+	resv    map[resvKey]uint64 // (namespace, virtual block) → frame block index
+	nextNS  uint64             // namespace counter for NewNamespace
+	free    []uint64           // stack of fully-free block indexes
+	partial []uint64           // stack of candidate blocks with free frames (lazy)
+	owners  []uint64           // FIFO of reserved block indexes for stealing (lazy)
+	stats   AllocStats
+}
+
+// NewAllocator creates an allocator over the given number of physical
+// frames with reservation granularity 1<<logSBF frames (the subblock
+// factor, default geometry 16 → 64KB).
+func NewAllocator(frames uint64, logSBF uint) (*Allocator, error) {
+	if logSBF > 6 {
+		return nil, fmt.Errorf("mm: logSBF %d out of range", logSBF)
+	}
+	sbf := uint64(1) << logSBF
+	if frames == 0 || frames%sbf != 0 {
+		return nil, fmt.Errorf("mm: %d frames not a multiple of the %d-frame block", frames, sbf)
+	}
+	a := &Allocator{
+		frames: frames,
+		logSBF: logSBF,
+		sbf:    sbf,
+		blocks: make([]blockState, frames/sbf),
+		resv:   make(map[resvKey]uint64),
+	}
+	// Seed the free stack in reverse so low frames allocate first.
+	for i := len(a.blocks) - 1; i >= 0; i-- {
+		a.free = append(a.free, uint64(i))
+	}
+	return a, nil
+}
+
+// MustNewAllocator is NewAllocator for known-good configurations.
+func MustNewAllocator(frames uint64, logSBF uint) *Allocator {
+	a, err := NewAllocator(frames, logSBF)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Frames returns total physical frames.
+func (a *Allocator) Frames() uint64 { return a.frames }
+
+// FreeFrames returns unallocated frames.
+func (a *Allocator) FreeFrames() uint64 {
+	var used uint64
+	for i := range a.blocks {
+		used += uint64(bits.OnesCount64(a.blocks[i].usedMask))
+	}
+	return a.frames - used
+}
+
+// Stats returns allocator counters.
+func (a *Allocator) Stats() AllocStats { return a.stats }
+
+// fullMask is the all-frames-used mask for one block.
+func (a *Allocator) fullMask() uint64 {
+	if a.sbf == 64 {
+		return ^uint64(0)
+	}
+	return 1<<a.sbf - 1
+}
+
+// NewNamespace issues a reservation namespace for one address space.
+func (a *Allocator) NewNamespace() uint64 {
+	a.nextNS++
+	return a.nextNS
+}
+
+// AllocAt allocates a frame to back virtual page vpn in namespace ns,
+// preferring the properly-placed frame within the block's reservation.
+// It returns the frame and whether it is properly placed (frame ≡ block
+// base + offset with the block reserved for this virtual block, §4.1).
+func (a *Allocator) AllocAt(ns uint64, vpn addr.VPN) (addr.PPN, bool, error) {
+	vpbn, boff := addr.BlockSplit(vpn, a.logSBF)
+	key := resvKey{ns, vpbn}
+	if bi, ok := a.resv[key]; ok {
+		blk := &a.blocks[bi]
+		if blk.usedMask>>boff&1 == 1 {
+			return 0, false, fmt.Errorf("mm: frame for vpn %#x already allocated", uint64(vpn))
+		}
+		blk.usedMask |= 1 << boff
+		a.stats.Placed++
+		return addr.PPN(bi*a.sbf + boff), true, nil
+	}
+	if bi, ok := a.takeFreeBlock(); ok {
+		blk := &a.blocks[bi]
+		blk.owner = key
+		blk.hasOwner = true
+		blk.usedMask = 1 << boff
+		a.resv[key] = bi
+		a.owners = append(a.owners, bi)
+		a.stats.Reservations++
+		a.stats.Placed++
+		return addr.PPN(bi*a.sbf + boff), true, nil
+	}
+	// No aligned block free: fall back to any free frame.
+	ppn, err := a.allocUnplaced()
+	if err != nil {
+		return 0, false, err
+	}
+	a.stats.Unplaced++
+	return ppn, false, nil
+}
+
+// AllocBlock reserves and fully allocates an aligned frame block for
+// virtual block vpbn in namespace ns — the eager path for creating
+// superpages.
+func (a *Allocator) AllocBlock(ns uint64, vpbn addr.VPBN) (addr.PPN, error) {
+	key := resvKey{ns, vpbn}
+	if bi, ok := a.resv[key]; ok {
+		blk := &a.blocks[bi]
+		if blk.usedMask != 0 {
+			return 0, fmt.Errorf("mm: block for vpbn %#x partially allocated", uint64(vpbn))
+		}
+		blk.usedMask = a.fullMask()
+		a.stats.Placed += a.sbf
+		return addr.PPN(bi * a.sbf), nil
+	}
+	bi, ok := a.takeFreeBlock()
+	if !ok {
+		return 0, ErrOutOfMemory
+	}
+	blk := &a.blocks[bi]
+	blk.owner = key
+	blk.hasOwner = true
+	blk.usedMask = a.fullMask()
+	a.resv[key] = bi
+	a.owners = append(a.owners, bi)
+	a.stats.Reservations++
+	a.stats.Placed += a.sbf
+	return addr.PPN(bi * a.sbf), nil
+}
+
+// AllocRun allocates n contiguous aligned blocks (for large superpages),
+// returning the first frame. n must be a power of two; alignment is to
+// the whole run.
+func (a *Allocator) AllocRun(nBlocks uint64) (addr.PPN, error) {
+	if nBlocks == 0 || !addr.IsPow2(nBlocks) {
+		return 0, fmt.Errorf("mm: run of %d blocks not a power of two", nBlocks)
+	}
+	// Linear scan for an aligned run of fully-free, unreserved blocks.
+	total := uint64(len(a.blocks))
+	for start := uint64(0); start+nBlocks <= total; start += nBlocks {
+		ok := true
+		for i := uint64(0); i < nBlocks; i++ {
+			blk := &a.blocks[start+i]
+			if blk.hasOwner || blk.usedMask != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := uint64(0); i < nBlocks; i++ {
+			a.blocks[start+i].usedMask = a.fullMask()
+		}
+		a.stats.Placed += nBlocks * a.sbf
+		return addr.PPN(start * a.sbf), nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+// takeFreeBlock pops a fully-free, unreserved block, stealing an old
+// reservation's unused frames when none remain.
+func (a *Allocator) takeFreeBlock() (uint64, bool) {
+	for len(a.free) > 0 {
+		bi := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		blk := &a.blocks[bi]
+		if !blk.hasOwner && blk.usedMask == 0 {
+			return bi, true
+		}
+	}
+	return 0, false
+}
+
+// allocUnplaced finds any free frame: first from broken/partial blocks,
+// then by stealing the oldest reservation with spare frames.
+func (a *Allocator) allocUnplaced() (addr.PPN, error) {
+	for {
+		for len(a.partial) > 0 {
+			bi := a.partial[len(a.partial)-1]
+			blk := &a.blocks[bi]
+			if blk.hasOwner || blk.usedMask == a.fullMask() {
+				a.partial = a.partial[:len(a.partial)-1]
+				continue
+			}
+			boff := uint64(bits.TrailingZeros64(^blk.usedMask))
+			blk.usedMask |= 1 << boff
+			if blk.usedMask == a.fullMask() {
+				a.partial = a.partial[:len(a.partial)-1]
+			}
+			return addr.PPN(bi*a.sbf + boff), nil
+		}
+		if !a.stealReservation() {
+			return 0, ErrOutOfMemory
+		}
+	}
+}
+
+// stealReservation breaks the oldest reservation that still has unused
+// frames, releasing them for unplaced allocation. Stolen blocks keep
+// their used frames; the virtual block loses its placement guarantee for
+// pages not yet populated.
+func (a *Allocator) stealReservation() bool {
+	for len(a.owners) > 0 {
+		bi := a.owners[0]
+		a.owners = a.owners[1:]
+		blk := &a.blocks[bi]
+		if !blk.hasOwner {
+			continue
+		}
+		delete(a.resv, blk.owner)
+		blk.hasOwner = false
+		a.stats.Steals++
+		if blk.usedMask != a.fullMask() {
+			a.partial = append(a.partial, bi)
+			return true
+		}
+	}
+	return false
+}
+
+// Free returns a frame. When a reservation's frames all free, the block
+// returns to the fully-free pool.
+func (a *Allocator) Free(ppn addr.PPN) error {
+	if uint64(ppn) >= a.frames {
+		return fmt.Errorf("mm: frame %#x out of range", uint64(ppn))
+	}
+	bi := uint64(ppn) >> a.logSBF
+	boff := uint64(ppn) & (a.sbf - 1)
+	blk := &a.blocks[bi]
+	if blk.usedMask>>boff&1 == 0 {
+		return fmt.Errorf("mm: double free of frame %#x", uint64(ppn))
+	}
+	blk.usedMask &^= 1 << boff
+	a.stats.Frees++
+	if blk.usedMask == 0 {
+		if blk.hasOwner {
+			delete(a.resv, blk.owner)
+			blk.hasOwner = false
+		}
+		a.free = append(a.free, bi)
+	} else if !blk.hasOwner {
+		a.partial = append(a.partial, bi)
+	}
+	return nil
+}
+
+// ReservationFor reports the reserved frame block base for a virtual
+// block in namespace ns, if any.
+func (a *Allocator) ReservationFor(ns uint64, vpbn addr.VPBN) (addr.PPN, bool) {
+	bi, ok := a.resv[resvKey{ns, vpbn}]
+	if !ok {
+		return 0, false
+	}
+	return addr.PPN(bi * a.sbf), true
+}

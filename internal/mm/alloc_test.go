@@ -1,0 +1,265 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt/internal/addr"
+)
+
+func TestNewAllocatorValidation(t *testing.T) {
+	if _, err := NewAllocator(0, 4); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := NewAllocator(100, 4); err == nil {
+		t.Error("non-multiple frames accepted")
+	}
+	if _, err := NewAllocator(128, 9); err == nil {
+		t.Error("wide logSBF accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewAllocator did not panic")
+		}
+	}()
+	MustNewAllocator(0, 4)
+}
+
+func TestProperPlacement(t *testing.T) {
+	a := MustNewAllocator(256, 4)
+	// Pages of one virtual block land at consecutive offsets of one
+	// aligned frame block.
+	var frames []addr.PPN
+	for i := addr.VPN(0); i < 16; i++ {
+		ppn, placed, err := a.AllocAt(0, 0x40+i)
+		if err != nil || !placed {
+			t.Fatalf("page %d: ppn=%v placed=%v err=%v", i, ppn, placed, err)
+		}
+		frames = append(frames, ppn)
+	}
+	base := frames[0]
+	if uint64(base)&15 != 0 {
+		t.Errorf("block base %#x not aligned", uint64(base))
+	}
+	for i, f := range frames {
+		if f != base+addr.PPN(i) {
+			t.Errorf("frame %d = %#x, want %#x", i, uint64(f), uint64(base)+uint64(i))
+		}
+	}
+	if got, ok := a.ReservationFor(0, 4); !ok || got != base {
+		t.Errorf("ReservationFor = %#x ok=%v", uint64(got), ok)
+	}
+	st := a.Stats()
+	if st.Placed != 16 || st.Reservations != 1 || st.Unplaced != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDistinctBlocksDistinctReservations(t *testing.T) {
+	a := MustNewAllocator(256, 4)
+	p1, _, _ := a.AllocAt(0, 0x40) // block 4
+	p2, _, _ := a.AllocAt(0, 0x50) // block 5
+	if uint64(p1)>>4 == uint64(p2)>>4 {
+		t.Errorf("blocks share a frame block: %#x %#x", uint64(p1), uint64(p2))
+	}
+}
+
+func TestDoubleAllocRejected(t *testing.T) {
+	a := MustNewAllocator(64, 4)
+	a.AllocAt(0, 0x40)
+	if _, _, err := a.AllocAt(0, 0x40); err == nil {
+		t.Error("double alloc accepted")
+	}
+}
+
+func TestFallbackUnplaced(t *testing.T) {
+	// 4 blocks of 16 frames. Reserve all four blocks with one page each,
+	// then a fifth virtual block must fall back to stealing.
+	a := MustNewAllocator(64, 4)
+	for b := addr.VPN(0); b < 4; b++ {
+		if _, placed, err := a.AllocAt(0, b<<4); err != nil || !placed {
+			t.Fatalf("block %d: placed=%v err=%v", b, placed, err)
+		}
+	}
+	ppn, placed, err := a.AllocAt(0, 4<<4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed {
+		t.Error("fifth block claims placement with no free blocks")
+	}
+	_ = ppn
+	st := a.Stats()
+	if st.Unplaced != 1 || st.Steals == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStolenReservationLosesPlacement(t *testing.T) {
+	a := MustNewAllocator(32, 4) // two blocks
+	a.AllocAt(0, 0x40)           // reserve block for vblock 4
+	a.AllocAt(0, 0x50)           // reserve block for vblock 5
+	// Memory full of reservations; new block steals the oldest (vblock 4).
+	a.AllocAt(0, 0x60)
+	if _, ok := a.ReservationFor(0, 4); ok {
+		t.Error("stolen reservation still present")
+	}
+	// vblock 4's later pages are now unplaced.
+	_, placed, err := a.AllocAt(0, 0x41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed {
+		t.Error("page placed after reservation stolen")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := MustNewAllocator(16, 4)
+	for i := addr.VPN(0); i < 16; i++ {
+		if _, _, err := a.AllocAt(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := a.AllocAt(0, 0x100); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v", err)
+	}
+	if a.FreeFrames() != 0 {
+		t.Errorf("free = %d", a.FreeFrames())
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := MustNewAllocator(16, 4)
+	var frames []addr.PPN
+	for i := addr.VPN(0); i < 16; i++ {
+		ppn, _, _ := a.AllocAt(0, i)
+		frames = append(frames, ppn)
+	}
+	for _, f := range frames {
+		if err := a.Free(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeFrames() != 16 {
+		t.Errorf("free = %d", a.FreeFrames())
+	}
+	// The block is whole again: a fresh virtual block gets placement.
+	if _, placed, err := a.AllocAt(0, 0x990); err != nil || !placed {
+		t.Errorf("placed=%v err=%v after full free", placed, err)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	a := MustNewAllocator(16, 4)
+	if err := a.Free(99); err == nil {
+		t.Error("out-of-range free accepted")
+	}
+	if err := a.Free(0); err == nil {
+		t.Error("free of unallocated frame accepted")
+	}
+	ppn, _, _ := a.AllocAt(0, 0)
+	a.Free(ppn)
+	if err := a.Free(ppn); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestAllocBlock(t *testing.T) {
+	a := MustNewAllocator(64, 4)
+	base, err := a.AllocBlock(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)&15 != 0 {
+		t.Errorf("base %#x unaligned", uint64(base))
+	}
+	if a.FreeFrames() != 48 {
+		t.Errorf("free = %d", a.FreeFrames())
+	}
+	// The same virtual block cannot double-allocate.
+	if _, err := a.AllocBlock(0, 7); err == nil {
+		t.Error("double block alloc accepted")
+	}
+}
+
+func TestAllocBlockUsesExistingEmptyReservation(t *testing.T) {
+	a := MustNewAllocator(64, 4)
+	ppn, _, _ := a.AllocAt(0, 0x70) // reserves the block for vblock 7
+	a.Free(ppn)                     // block free again, reservation released
+	base, err := a.AllocBlock(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)&15 != 0 {
+		t.Errorf("base %#x unaligned", uint64(base))
+	}
+}
+
+func TestAllocRun(t *testing.T) {
+	a := MustNewAllocator(256, 4) // 16 blocks
+	base, err := a.AllocRun(4)    // 64 frames for a 256KB superpage
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)&63 != 0 {
+		t.Errorf("run base %#x not aligned to run", uint64(base))
+	}
+	if a.FreeFrames() != 192 {
+		t.Errorf("free = %d", a.FreeFrames())
+	}
+	if _, err := a.AllocRun(3); err == nil {
+		t.Error("non-pow2 run accepted")
+	}
+	if _, err := a.AllocRun(64); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversized run err = %v", err)
+	}
+}
+
+func TestAllFramesAllocatableUnderPressure(t *testing.T) {
+	// Every frame must be reachable even with awkward reservation
+	// patterns: allocate one page in each of 4 virtual blocks (4 blocks
+	// of 16 frames → 4 reservations), then 60 more pages from other
+	// blocks.
+	a := MustNewAllocator(64, 4)
+	n := 0
+	for b := addr.VPN(0); b < 4; b++ {
+		if _, _, err := a.AllocAt(0, b<<4); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	for i := addr.VPN(0); n < 64; i++ {
+		if _, _, err := a.AllocAt(0, 0x1000+i); err != nil {
+			t.Fatalf("allocation %d failed: %v", n, err)
+		}
+		n++
+	}
+	if a.FreeFrames() != 0 {
+		t.Errorf("free = %d, want full utilization", a.FreeFrames())
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	// Two address spaces sharing one allocator reserve independently for
+	// the same virtual block — the fork scenario.
+	a := MustNewAllocator(256, 4)
+	ns1, ns2 := a.NewNamespace(), a.NewNamespace()
+	p1, placed1, err1 := a.AllocAt(ns1, 0x40)
+	p2, placed2, err2 := a.AllocAt(ns2, 0x40)
+	if err1 != nil || err2 != nil || !placed1 || !placed2 {
+		t.Fatalf("placed=%v/%v err=%v/%v", placed1, placed2, err1, err2)
+	}
+	if p1 == p2 {
+		t.Fatalf("namespaces share frame %#x", uint64(p1))
+	}
+	if b1, _ := a.ReservationFor(ns1, 4); b1 != p1 {
+		t.Errorf("ns1 reservation %#x", uint64(b1))
+	}
+	if b2, _ := a.ReservationFor(ns2, 4); b2 != p2 {
+		t.Errorf("ns2 reservation %#x", uint64(b2))
+	}
+	if _, ok := a.ReservationFor(99, 4); ok {
+		t.Error("phantom namespace reservation")
+	}
+}

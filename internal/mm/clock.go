@@ -1,0 +1,162 @@
+package mm
+
+import (
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// Clock is a second-chance page-replacement daemon over an address
+// space: the classic consumer of the REF bits that TLB miss handlers set
+// without locks (§3.1). Each scan pass clears REF on resident pages; a
+// page found with REF still clear on the next pass is cold and gets
+// evicted (unmapped, frame freed). Running it against a clustered page
+// table exercises the per-block range operations — one hash probe per
+// page block per scan — and the demotion paths when eviction breaks up
+// compact PTEs.
+type Clock struct {
+	space *AddressSpace
+	// hand is the resume point within the scan order.
+	hand addr.VPN
+	// stats
+	scanned  uint64
+	evicted  uint64
+	refClear uint64
+}
+
+// ClockStats reports daemon activity.
+type ClockStats struct {
+	Scanned    uint64
+	Evicted    uint64
+	RefCleared uint64
+}
+
+// NewClock creates a reclaim daemon for the space.
+func NewClock(space *AddressSpace) *Clock { return &Clock{space: space} }
+
+// Stats returns daemon counters.
+func (c *Clock) Stats() ClockStats {
+	return ClockStats{Scanned: c.scanned, Evicted: c.evicted, RefCleared: c.refClear}
+}
+
+// resident collects the space's resident pages in ascending order,
+// rotated so the scan resumes at the hand.
+func (c *Clock) resident() []addr.VPN {
+	var pages []addr.VPN
+	for _, vma := range c.space.VMAs() {
+		vma.Range.Pages(func(vpn addr.VPN) bool {
+			if _, _, ok := c.space.Table().Lookup(addr.VAOf(vpn)); ok {
+				pages = append(pages, vpn)
+			}
+			return true
+		})
+	}
+	// Rotate to the hand.
+	for i, vpn := range pages {
+		if vpn >= c.hand {
+			return append(pages[i:], pages[:i]...)
+		}
+	}
+	return pages
+}
+
+// extentOf returns the virtual extent sharing e's mapping word: the
+// whole superpage for superpage entries, the whole page block for
+// partial-subblock entries, one page otherwise. REF and MOD live in the
+// word, so they are set, cleared and consulted at this granularity —
+// the coarse-status tradeoff compact PTEs make.
+func (c *Clock) extentOf(vpn addr.VPN, e pte.Entry) addr.Range {
+	switch e.Kind {
+	case pte.KindSuperpage:
+		base := vpn &^ addr.VPN(e.Size.Pages()-1)
+		return addr.PageRange(addr.VAOf(base), e.Size.Pages())
+	case pte.KindPartial:
+		base := addr.BlockBase(vpn, 4)
+		return addr.PageRange(addr.VAOf(base), 16)
+	default:
+		return addr.PageRange(addr.VAOf(vpn), 1)
+	}
+}
+
+// Scan advances the clock over up to budget resident pages: a page whose
+// covering word has REF set gets a second chance (the word's REF clears,
+// once per pass); a page whose word is cold is evicted. Eviction of a
+// page covered by a compact PTE demotes it through the page table's own
+// rules. It returns the number of pages evicted.
+func (c *Clock) Scan(budget int) (int, error) {
+	pages := c.resident()
+	if len(pages) == 0 {
+		return 0, nil
+	}
+	evicted := 0
+	n := budget
+	if n > len(pages) {
+		n = len(pages)
+	}
+	spared := map[addr.V]bool{} // extents given their second chance this pass
+	for i := 0; i < n; i++ {
+		vpn := pages[i]
+		c.scanned++
+		e, _, ok := c.space.Table().Lookup(addr.VAOf(vpn))
+		if !ok {
+			continue // evicted earlier in this pass via a shared word
+		}
+		ext := c.extentOf(vpn, e)
+		if spared[ext.Start] {
+			continue
+		}
+		if e.Attr.Has(pte.AttrRef) {
+			// Second chance: clear REF on the whole word (full-extent
+			// coverage updates in place, no demotion).
+			if _, err := c.space.Table().ProtectRange(ext, 0, pte.AttrRef); err != nil {
+				return evicted, err
+			}
+			c.refClear++
+			spared[ext.Start] = true
+			continue
+		}
+		if err := c.space.unmapOne(vpn, e); err != nil {
+			return evicted, err
+		}
+		if err := c.space.alloc.Free(e.PPN); err != nil {
+			return evicted, err
+		}
+		c.evicted++
+		evicted++
+	}
+	if n < len(pages) {
+		c.hand = pages[n]
+	} else {
+		c.hand = 0
+	}
+	return evicted, nil
+}
+
+// Touch records a use of va for replacement purposes by setting REF on
+// the covering mapping word — what a hardware TLB or miss handler does
+// on each access. Compact PTEs share one REF bit across their extent.
+func (c *Clock) Touch(va addr.V) {
+	e, _, ok := c.space.Table().Lookup(va)
+	if !ok {
+		return
+	}
+	_, _ = c.space.Table().ProtectRange(c.extentOf(addr.VPNOf(va), e), pte.AttrRef, 0)
+}
+
+// ReclaimTo runs scan passes until at least want frames are free or no
+// progress is possible, returning the free-frame count reached.
+func (c *Clock) ReclaimTo(want uint64) (uint64, error) {
+	for pass := 0; pass < 64; pass++ {
+		free := c.space.alloc.FreeFrames()
+		if free >= want {
+			return free, nil
+		}
+		evicted, err := c.Scan(1 << 16)
+		if err != nil {
+			return free, err
+		}
+		if evicted == 0 && c.space.ResidentPages() == 0 {
+			break
+		}
+	}
+	return c.space.alloc.FreeFrames(), nil
+}

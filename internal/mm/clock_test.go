@@ -1,0 +1,174 @@
+package mm
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/pte"
+)
+
+func clockSpace(t *testing.T, pol Policy, pages uint64) (*AddressSpace, *Clock) {
+	t.Helper()
+	ct := core.MustNew(core.Config{})
+	s := NewAddressSpace(ct, MustNewAllocator(4096, 4), pol)
+	r := addr.PageRange(0x100000, pages)
+	if err := s.Reserve(r, pte.AttrR|pte.AttrW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	return s, NewClock(s)
+}
+
+func TestClockEvictsColdKeepsHot(t *testing.T) {
+	s, c := clockSpace(t, Policy{}, 64)
+	// Touch the first 16 pages (the working set).
+	for i := uint64(0); i < 16; i++ {
+		c.Touch(0x100000 + addr.V(i*4096))
+	}
+	// First scan: hot pages get their second chance, cold pages go.
+	evicted, err := c.Scan(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 48 {
+		t.Errorf("evicted = %d, want 48 cold pages", evicted)
+	}
+	for i := uint64(0); i < 64; i++ {
+		_, _, ok := s.Table().Lookup(0x100000 + addr.V(i*4096))
+		if ok != (i < 16) {
+			t.Errorf("page %d resident=%v", i, ok)
+		}
+	}
+	// Second scan with no touches evicts the rest.
+	evicted, err = c.Scan(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 16 {
+		t.Errorf("second scan evicted = %d", evicted)
+	}
+	if s.ResidentPages() != 0 {
+		t.Errorf("resident = %d", s.ResidentPages())
+	}
+	st := c.Stats()
+	if st.Evicted != 64 || st.RefCleared != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestClockBudgetAndHand(t *testing.T) {
+	_, c := clockSpace(t, Policy{}, 32)
+	// Budget 10 per scan: the hand must advance, not rescan the front.
+	total := 0
+	for i := 0; i < 4; i++ {
+		e, err := c.Scan(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += e
+	}
+	if total != 32 {
+		t.Errorf("total evicted = %d after 4 budgeted scans", total)
+	}
+}
+
+func TestClockSharedREFGranularity(t *testing.T) {
+	// Compact PTEs share one REF bit: touching any page of a superpage
+	// keeps the whole word hot — the coarse-status tradeoff.
+	s, c := clockSpace(t, Policy{UseSuperpages: true, UsePartial: true}, 32)
+	ct := s.Table().(*core.Table)
+	vpbnA, _ := addr.BlockSplit(addr.VPNOf(0x100000), 4)
+	if k, _ := ct.BlockKind(vpbnA); k != pte.KindSuperpage {
+		t.Fatalf("setup: block kind %v", k)
+	}
+	// Touch one page of block A; block B stays cold.
+	c.Touch(0x100000)
+	if evicted, err := c.Scan(1 << 16); err != nil || evicted != 16 {
+		t.Fatalf("evicted = %d err=%v, want all of cold block B", evicted, err)
+	}
+	// Every page of the touched word survived, including untouched ones.
+	for i := uint64(0); i < 16; i++ {
+		if _, _, ok := ct.Lookup(0x100000 + addr.V(i*4096)); !ok {
+			t.Errorf("page %d of hot superpage evicted", i)
+		}
+	}
+	if k, ok := ct.BlockKind(vpbnA); !ok || k != pte.KindSuperpage {
+		t.Errorf("hot block kind = %v ok=%v", k, ok)
+	}
+}
+
+func TestClockDemotesCompactPTEs(t *testing.T) {
+	// A budget-limited scan that evicts only part of a cold superpage
+	// must demote it to a partial-subblock PTE and keep the rest intact.
+	s, c := clockSpace(t, Policy{UseSuperpages: true, UsePartial: true}, 32)
+	ct := s.Table().(*core.Table)
+	// Block A hot, block B cold.
+	c.Touch(0x100000)
+	free := s.Allocator().FreeFrames()
+	// Visit A's 16 pages (one second-chance clear) + 4 pages of B.
+	evicted, err := c.Scan(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 4 {
+		t.Fatalf("evicted = %d, want 4", evicted)
+	}
+	if got := s.Allocator().FreeFrames(); got != free+4 {
+		t.Errorf("free = %d, want %d", got, free+4)
+	}
+	vpbnB, _ := addr.BlockSplit(addr.VPNOf(0x100000+16*4096), 4)
+	if k, ok := ct.BlockKind(vpbnB); !ok || k != pte.KindPartial {
+		t.Errorf("cold block kind = %v ok=%v, want demoted psb", k, ok)
+	}
+	// Survivors of B still translate.
+	if _, _, ok := ct.Lookup(0x100000 + 25*4096); !ok {
+		t.Error("survivor page of B lost")
+	}
+}
+
+func TestClockTouchKeepsWorkingSetUnderPressure(t *testing.T) {
+	s, c := clockSpace(t, Policy{}, 128)
+	// Simulate steady use of a 32-page working set with periodic
+	// reclaim pressure.
+	for round := 0; round < 6; round++ {
+		for i := uint64(0); i < 32; i++ {
+			c.Touch(0x100000 + addr.V(i*4096))
+		}
+		if _, err := c.Scan(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 32; i++ {
+		if _, _, ok := s.Table().Lookup(0x100000 + addr.V(i*4096)); !ok {
+			t.Fatalf("working-set page %d evicted", i)
+		}
+	}
+}
+
+func TestClockReclaimTo(t *testing.T) {
+	s, c := clockSpace(t, Policy{}, 64)
+	start := s.Allocator().FreeFrames()
+	free, err := c.ReclaimTo(start + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free < start+64 {
+		t.Errorf("free = %d, want ≥ %d", free, start+64)
+	}
+	// Asking for more than exists terminates without error.
+	if _, err := c.ReclaimTo(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockEmptySpace(t *testing.T) {
+	ct := core.MustNew(core.Config{})
+	s := NewAddressSpace(ct, MustNewAllocator(64, 4), Policy{})
+	c := NewClock(s)
+	if n, err := c.Scan(100); err != nil || n != 0 {
+		t.Errorf("empty scan = %d, %v", n, err)
+	}
+}

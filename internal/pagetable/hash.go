@@ -1,0 +1,22 @@
+package pagetable
+
+// HashVPN mixes a virtual page (or page block) number into a well-
+// distributed 64-bit value. Hashed and clustered page tables index their
+// bucket arrays with this function; the finalizer is the standard
+// splitmix64 mix, which is cheap enough for a hand-coded TLB miss handler
+// and avalanche-complete so low-entropy VPNs (dense segments, aligned
+// objects) spread across buckets.
+func HashVPN(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// BucketIndex reduces a hash to a bucket index for a power-of-two bucket
+// count.
+func BucketIndex(hash uint64, buckets int) int {
+	return int(hash & uint64(buckets-1))
+}

@@ -1,0 +1,61 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashVPNAvalanche(t *testing.T) {
+	// Dense consecutive block numbers — the common case for bursty
+	// address spaces — must spread across buckets rather than cluster.
+	const buckets = 64
+	counts := make([]int, buckets)
+	for vpbn := uint64(0); vpbn < 64*buckets; vpbn++ {
+		counts[BucketIndex(HashVPN(vpbn), buckets)]++
+	}
+	for i, c := range counts {
+		if c < 32 || c > 96 { // expect 64±50%
+			t.Errorf("bucket %d has %d entries, want ~64", i, c)
+		}
+	}
+}
+
+func TestHashVPNDeterministicAndDistinct(t *testing.T) {
+	if HashVPN(42) != HashVPN(42) {
+		t.Error("hash not deterministic")
+	}
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return HashVPN(a) != HashVPN(b) // collisions astronomically unlikely
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketIndexRange(t *testing.T) {
+	f := func(h uint64) bool {
+		i := BucketIndex(h, 4096)
+		return i >= 0 && i < 4096
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkCostAdd(t *testing.T) {
+	a := WalkCost{Lines: 1, Nodes: 2, Probes: 1}
+	a.Add(WalkCost{Lines: 3, Nodes: 1, Probes: 1, NestedMiss: true})
+	if a.Lines != 4 || a.Nodes != 3 || a.Probes != 2 || !a.NestedMiss {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestSizeTotal(t *testing.T) {
+	s := Size{PTEBytes: 100, FixedBytes: 28}
+	if s.Total() != 128 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}

@@ -1,0 +1,125 @@
+// Package report renders fixed-width text tables for the experiment
+// binaries, in the spirit of the paper's tables and bar charts.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a header and renders them
+// with aligned columns.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// Row appends one row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.title)))
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV: a comment line with
+// the title, then the header and rows. Numeric formatting matches
+// Render so the two outputs agree.
+func (t *Table) RenderCSV(w io.Writer) {
+	if t.title != "" {
+		fmt.Fprintf(w, "# %s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Bar renders a crude horizontal bar for a value against a scale, capped
+// like Figure 9 caps its axis.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	capped := false
+	if n > width {
+		n, capped = width, true
+	}
+	if n < 0 {
+		n = 0
+	}
+	b := strings.Repeat("#", n)
+	if capped {
+		b += ">"
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Row("alpha", 1.0)
+	tab.Row("a-much-longer-name", 12.5)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "1.000", "a-much-longer-name", "12.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.Row("x")
+	var sb strings.Builder
+	tab.Render(&sb)
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table rendered underline")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1.0, 10); got != "#####" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(2.0, 1.0, 10); got != strings.Repeat("#", 10)+">" {
+		t.Errorf("capped Bar = %q", got)
+	}
+	if got := Bar(-1, 1, 10); got != "" {
+		t.Errorf("negative Bar = %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(1, 1, 0) != "" {
+		t.Error("degenerate Bar not empty")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.Row("plain", 1.0)
+	tab.Row("with,comma", `quote"inside`)
+	var sb strings.Builder
+	tab.RenderCSV(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# Demo\n", "name,value\n", "plain,1.000\n",
+		`"with,comma","quote""inside"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

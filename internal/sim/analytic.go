@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"sort"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/trace"
+)
+
+// This file implements the Appendix's Table 2 formulae: closed-form page
+// table sizes and average cache lines per TLB miss, computed from
+// Nactive(P) — the number of size-P virtual regions holding at least one
+// valid mapping. The property tests cross-check these against the built
+// tables, and cmd/ptrepro prints the analytic-vs-simulated comparison.
+
+// Nactive counts the aligned size-P regions (P in base pages) containing
+// at least one of the given mapped pages.
+func Nactive(pages []addr.VPN, regionPages uint64) uint64 {
+	if len(pages) == 0 || regionPages == 0 {
+		return 0
+	}
+	seen := make(map[addr.VPN]struct{})
+	for _, vpn := range pages {
+		seen[vpn/addr.VPN(regionPages)] = struct{}{}
+	}
+	return uint64(len(seen))
+}
+
+// NactiveProfile sums Nactive over a profile's processes (per-process
+// page tables).
+func NactiveProfile(p trace.Profile, regionPages uint64) uint64 {
+	var n uint64
+	for _, s := range p.Snapshot() {
+		n += Nactive(s.AllPages(), regionPages)
+	}
+	return n
+}
+
+// AnalyticHashedBytes is Table 2's hashed size: 24 × Nactive(1).
+func AnalyticHashedBytes(nactive1 uint64) uint64 { return 24 * nactive1 }
+
+// AnalyticClusteredBytes is Table 2's clustered size: (8s+16) × Nactive(s).
+func AnalyticClusteredBytes(nactiveS uint64, s int) uint64 {
+	return (8*uint64(s) + 16) * nactiveS
+}
+
+// AnalyticClusteredMixedBytes is Table 2's clustered size with superpage
+// or partial-subblock PTEs: 24·Nactive(s)·fss + (8s+16)·Nactive(s)·(1−fss).
+func AnalyticClusteredMixedBytes(nactiveS uint64, s int, fss float64) float64 {
+	return 24*float64(nactiveS)*fss + float64(8*s+16)*float64(nactiveS)*(1-fss)
+}
+
+// AnalyticLinearBytes is Table 2's multi-level linear size:
+// Σ_{i=1..nlevels} 4KB × Nactive(2^(9i)).
+func AnalyticLinearBytes(pages []addr.VPN, nlevels int) uint64 {
+	var total uint64
+	for i := 1; i <= nlevels; i++ {
+		total += 4096 * Nactive(pages, 1<<(9*uint(i)))
+	}
+	return total
+}
+
+// AnalyticLinearHashedBytes is Table 2's "Linear with Hashed" size: a
+// hash table of 24-byte PTEs stores the translations to the first-level
+// page-table pages: (4KB + 24) × Nactive(512).
+func AnalyticLinearHashedBytes(pages []addr.VPN) uint64 {
+	return (4096 + 24) * Nactive(pages, 512)
+}
+
+// AnalyticForwardBytes is Table 2's forward-mapped size:
+// Σ n_i × 8 × Nactive(pb_i) for the given level widths (root to leaf).
+func AnalyticForwardBytes(pages []addr.VPN, levelBits []uint) uint64 {
+	var below uint
+	for _, b := range levelBits {
+		below += b
+	}
+	var total uint64
+	for _, b := range levelBits {
+		below -= b
+		nodeEntries := uint64(1) << b
+		// A node at this level covers 2^(bits below + own bits) pages;
+		// nodes are distinguished by the bits above, i.e. one node per
+		// active region of 2^(below+b) pages.
+		total += nodeEntries * 8 * Nactive(pages, 1<<(below+b))
+	}
+	return total
+}
+
+// AnalyticHashedLines is Table 2's hashed/clustered access estimate under
+// uniform random hashing: 1 + α/2 cache lines per miss at load factor α.
+func AnalyticHashedLines(alpha float64) float64 { return 1 + alpha/2 }
+
+// AnalyticForwardLines is Table 2's forward-mapped estimate: nlevels.
+func AnalyticForwardLines(nlevels int) float64 { return float64(nlevels) }
+
+// AnalyticLinearLines is Table 2's linear estimate: 1 + r·m, for nested
+// miss ratio r costing m lines each.
+func AnalyticLinearLines(r, m float64) float64 { return 1 + r*m }
+
+// BurstStats summarizes the spatial clustering of a snapshot: how mapped
+// pages group into page blocks, which predicts where clustered tables
+// win (§3).
+type BurstStats struct {
+	Pages          uint64
+	Blocks         uint64
+	PagesPerBlock  float64
+	FullBlocks     uint64
+	MedianBlockPop int
+}
+
+// Burstiness computes block-occupancy statistics at factor 1<<logSBF.
+func Burstiness(pages []addr.VPN, logSBF uint) BurstStats {
+	st := BurstStats{Pages: uint64(len(pages))}
+	if len(pages) == 0 {
+		return st
+	}
+	pop := map[addr.VPBN]int{}
+	for _, vpn := range pages {
+		b, _ := addr.BlockSplit(vpn, logSBF)
+		pop[b]++
+	}
+	st.Blocks = uint64(len(pop))
+	st.PagesPerBlock = float64(st.Pages) / float64(st.Blocks)
+	var pops []int
+	sbf := 1 << logSBF
+	for _, n := range pop {
+		pops = append(pops, n)
+		if n == sbf {
+			st.FullBlocks++
+		}
+	}
+	sort.Ints(pops)
+	st.MedianBlockPop = pops[len(pops)/2]
+	return st
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+	"clusterpt/internal/swtlb"
+)
+
+// TestDifferentialAllOrganizations drives every page-table organization
+// with one random operation sequence and checks they agree with each
+// other and with a flat model at every step. This is the repository's
+// strongest correctness net: any divergence in map/unmap/protect/lookup
+// semantics across seven implementations fails here.
+func TestDifferentialAllOrganizations(t *testing.T) {
+	m := memcost.NewModel(0)
+	tables := []pagetable.PageTable{
+		core.MustNew(core.Config{Buckets: 64}),
+		core.MustNew(core.Config{Buckets: 16, SubblockFactor: 8, SparseNodes: true}),
+		hashed.MustNew(hashed.Config{Buckets: 64, CostModel: m}),
+		hashed.MustNewMulti(hashed.Config{Buckets: 64, CostModel: m}, 4, hashed.BaseFirst),
+		hashed.MustNewSPIndex(hashed.Config{Buckets: 64, CostModel: m}, 4),
+		linear.MustNew(linear.Config{VABits: 40, CostModel: m}),
+		forward.MustNew(forward.Config{LevelBits: forward.Default32LevelBits, CostModel: m}),
+		swtlb.MustNew(swtlb.Config{Entries: 64, CostModel: m}, core.MustNew(core.Config{Buckets: 64})),
+	}
+
+	type modelEntry struct {
+		ppn  addr.PPN
+		attr pte.Attr
+	}
+	model := map[addr.VPN]modelEntry{}
+	rng := rand.New(rand.NewSource(271828))
+	const space = 1 << 11
+
+	for step := 0; step < 6000; step++ {
+		vpn := addr.VPN(rng.Intn(space))
+		switch rng.Intn(5) {
+		case 0, 1: // map
+			ppn := addr.PPN(rng.Intn(1 << 18))
+			attr := pte.AttrR
+			if rng.Intn(2) == 1 {
+				attr |= pte.AttrW
+			}
+			_, exists := model[vpn]
+			for _, tab := range tables {
+				err := tab.Map(vpn, ppn, attr)
+				if exists && err == nil {
+					t.Fatalf("step %d: %s accepted double map of %#x", step, tab.Name(), uint64(vpn))
+				}
+				if !exists && err != nil {
+					t.Fatalf("step %d: %s rejected map of %#x: %v", step, tab.Name(), uint64(vpn), err)
+				}
+			}
+			if !exists {
+				model[vpn] = modelEntry{ppn, attr}
+			}
+		case 2: // unmap
+			_, exists := model[vpn]
+			for _, tab := range tables {
+				err := tab.Unmap(vpn)
+				if exists && err != nil {
+					t.Fatalf("step %d: %s failed unmap of %#x: %v", step, tab.Name(), uint64(vpn), err)
+				}
+				if !exists && !errors.Is(err, pagetable.ErrNotMapped) {
+					t.Fatalf("step %d: %s unmap of unmapped %#x: %v", step, tab.Name(), uint64(vpn), err)
+				}
+			}
+			delete(model, vpn)
+		case 3: // protect a small range
+			n := uint64(rng.Intn(32) + 1)
+			r := addr.PageRange(addr.VAOf(vpn), n)
+			set, clear := pte.AttrRef, pte.AttrNone
+			if rng.Intn(2) == 1 {
+				set, clear = pte.AttrNone, pte.AttrRef
+			}
+			for _, tab := range tables {
+				if _, err := tab.ProtectRange(r, set, clear); err != nil {
+					t.Fatalf("step %d: %s protect: %v", step, tab.Name(), err)
+				}
+			}
+			r.Pages(func(p addr.VPN) bool {
+				if e, ok := model[p]; ok {
+					e.attr = e.attr&^clear | set
+					model[p] = e
+				}
+				return true
+			})
+		default: // lookup
+			want, exists := model[vpn]
+			va := addr.VAOf(vpn) + addr.V(rng.Intn(addr.BasePageSize))
+			for _, tab := range tables {
+				e, cost, ok := tab.Lookup(va)
+				if ok != exists {
+					t.Fatalf("step %d: %s lookup(%#x) ok=%v want %v", step, tab.Name(), uint64(vpn), ok, exists)
+				}
+				if !ok {
+					continue
+				}
+				if e.PPN != want.ppn {
+					t.Fatalf("step %d: %s frame %#x want %#x", step, tab.Name(), uint64(e.PPN), uint64(want.ppn))
+				}
+				if e.Attr.Protection() != want.attr.Protection() {
+					t.Fatalf("step %d: %s attr %v want %v", step, tab.Name(), e.Attr, want.attr)
+				}
+				if e.Attr.Has(pte.AttrRef) != want.attr.Has(pte.AttrRef) {
+					t.Fatalf("step %d: %s ref bit %v want %v", step, tab.Name(), e.Attr, want.attr)
+				}
+				if cost.Lines < 1 {
+					t.Fatalf("step %d: %s zero-line walk", step, tab.Name())
+				}
+			}
+		}
+	}
+
+	// Final census: every organization reports the same mapping count.
+	for _, tab := range tables {
+		if got := tab.Size().Mappings; got != uint64(len(model)) {
+			t.Errorf("%s: %d mappings, model %d", tab.Name(), got, len(model))
+		}
+	}
+}
+
+// TestDifferentialSuperpageCoverage checks every superpage-capable
+// organization agrees on coverage and translation of a mixed layout.
+func TestDifferentialSuperpageCoverage(t *testing.T) {
+	m := memcost.NewModel(0)
+	type spTable struct {
+		pt pagetable.PageTable
+		sp pagetable.SuperpageMapper
+	}
+	mk := func(pt pagetable.PageTable) spTable {
+		return spTable{pt, pt.(pagetable.SuperpageMapper)}
+	}
+	tables := []spTable{
+		mk(core.MustNew(core.Config{})),
+		mk(hashed.MustNewMulti(hashed.Config{CostModel: m}, 4, hashed.BaseFirst)),
+		mk(hashed.MustNewSPIndex(hashed.Config{CostModel: m}, 4)),
+		mk(linear.MustNew(linear.Config{CostModel: m})),
+		mk(forward.MustNew(forward.Config{CostModel: m})),
+	}
+	for _, tab := range tables {
+		// A 64KB superpage, a 1MB superpage and scattered base pages.
+		if err := tab.sp.MapSuperpage(0x40, 0x100, pte.AttrR, addr.Size64K); err != nil {
+			t.Fatalf("%s: 64KB superpage: %v", tab.pt.Name(), err)
+		}
+		if err := tab.sp.MapSuperpage(0x1000, 0x2000, pte.AttrR|pte.AttrW, addr.Size1M); err != nil {
+			t.Fatalf("%s: 1MB superpage: %v", tab.pt.Name(), err)
+		}
+		for _, vpn := range []addr.VPN{0x20, 0x800, 0x5000} {
+			if err := tab.pt.Map(vpn, addr.PPN(vpn)+7, pte.AttrR); err != nil {
+				t.Fatalf("%s: base map: %v", tab.pt.Name(), err)
+			}
+		}
+	}
+	checks := []struct {
+		vpn  addr.VPN
+		ok   bool
+		ppn  addr.PPN
+		size addr.Size
+	}{
+		{0x40, true, 0x100, addr.Size64K},
+		{0x4f, true, 0x10f, addr.Size64K},
+		{0x50, false, 0, 0},
+		{0x1000, true, 0x2000, addr.Size1M},
+		{0x10ff, true, 0x20ff, addr.Size1M},
+		{0x1100, false, 0, 0},
+		{0x20, true, 0x27, addr.Size4K},
+		{0x800, true, 0x807, addr.Size4K},
+		{0x5000, true, 0x5007, addr.Size4K},
+		{0x5001, false, 0, 0},
+	}
+	for _, tab := range tables {
+		for _, c := range checks {
+			e, _, ok := tab.pt.Lookup(addr.VAOf(c.vpn))
+			if ok != c.ok {
+				t.Errorf("%s: lookup %#x ok=%v want %v", tab.pt.Name(), uint64(c.vpn), ok, c.ok)
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if e.PPN != c.ppn {
+				t.Errorf("%s: %#x frame %#x want %#x", tab.pt.Name(), uint64(c.vpn), uint64(e.PPN), uint64(c.ppn))
+			}
+			if e.Size != c.size {
+				t.Errorf("%s: %#x size %v want %v", tab.pt.Name(), uint64(c.vpn), e.Size, c.size)
+			}
+		}
+	}
+}
+
+// TestDifferentialPartialSubblock does the same for psb-capable tables.
+func TestDifferentialPartialSubblock(t *testing.T) {
+	m := memcost.NewModel(0)
+	tables := []pagetable.PageTable{
+		core.MustNew(core.Config{}),
+		hashed.MustNewMulti(hashed.Config{CostModel: m}, 4, hashed.BaseFirst),
+		hashed.MustNewSPIndex(hashed.Config{CostModel: m}, 4),
+		linear.MustNew(linear.Config{CostModel: m}),
+		forward.MustNew(forward.Config{CostModel: m}),
+	}
+	valid := uint16(0b1010_0110_0000_0001)
+	for _, tab := range tables {
+		pm := tab.(pagetable.PartialMapper)
+		if err := pm.MapPartial(4, 0x240, pte.AttrR|pte.AttrW, valid); err != nil {
+			t.Fatalf("%s: %v", tab.Name(), err)
+		}
+		for boff := uint64(0); boff < 16; boff++ {
+			vpn := addr.VPN(0x40 + boff)
+			e, _, ok := tab.Lookup(addr.VAOf(vpn))
+			want := valid>>boff&1 == 1
+			if ok != want {
+				t.Errorf("%s: offset %d ok=%v want %v", tab.Name(), boff, ok, want)
+				continue
+			}
+			if ok && e.PPN != 0x240+addr.PPN(boff) {
+				t.Errorf("%s: offset %d frame %#x", tab.Name(), boff, uint64(e.PPN))
+			}
+		}
+	}
+}

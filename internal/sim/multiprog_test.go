@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+func TestMultiprogramInterference(t *testing.T) {
+	// The §7 limitation, measured: interleaving gcc's four processes on
+	// one TLB costs at least as many misses as private TLBs, and
+	// flushing on every switch can only add more.
+	row, err := RunMultiprogram(profile(t, "gcc"), 2000, 120_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SharedASIDMisses < row.IsolatedMisses {
+		t.Errorf("shared-ASID %d < isolated %d", row.SharedASIDMisses, row.IsolatedMisses)
+	}
+	if row.FlushMisses < row.SharedASIDMisses {
+		t.Errorf("flush %d < shared-ASID %d", row.FlushMisses, row.SharedASIDMisses)
+	}
+	// With a quantum short enough that entries survive context switches,
+	// flushing is strictly worse than ASID tagging — the reason
+	// architectures grew ASIDs.
+	short, err := RunMultiprogram(profile(t, "compress"), 50, 120_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.FlushMisses <= short.SharedASIDMisses {
+		t.Errorf("short quantum: flush %d ≤ shared-ASID %d", short.FlushMisses, short.SharedASIDMisses)
+	}
+}
+
+func TestMultiprogramSingleProcessNoInflation(t *testing.T) {
+	// A single-process workload sees no interference: shared-ASID equals
+	// isolated exactly (same TLB, same stream).
+	row, err := RunMultiprogram(profile(t, "mp3d"), 2000, 60_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SharedASIDMisses != row.IsolatedMisses {
+		t.Errorf("shared %d != isolated %d for one process", row.SharedASIDMisses, row.IsolatedMisses)
+	}
+}
+
+func TestMultiprogramKernelRejected(t *testing.T) {
+	if _, err := RunMultiprogram(profile(t, "kernel"), 0, 0, 0); err == nil {
+		t.Error("snapshot-only workload accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+
+	"clusterpt/internal/cache"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/swtlb"
+	"clusterpt/internal/tlb"
+	"clusterpt/internal/trace"
+)
+
+// ResidencyRow is one workload's row of the §6.1 cache-residency
+// ablation. The paper's lines-touched metric "ignores that some page
+// table data may still be in cache, particularly for page tables that
+// are smaller"; this experiment replays each walk's touched lines
+// through a level-two cache that is also churned by the program's own
+// data references, and reports the lines that actually *miss* — the
+// number a real machine would stall on.
+type ResidencyRow struct {
+	Workload string
+	// TouchedPerMiss is the paper's metric: lines accessed per TLB miss.
+	TouchedPerMiss map[string]float64
+	// MissedPerMiss is the ablation: lines missing in the L2 per TLB
+	// miss, always ≤ touched.
+	MissedPerMiss map[string]float64
+}
+
+// ResidencyConfig parameterizes the ablation.
+type ResidencyConfig struct {
+	// Refs is the trace length (default 200k).
+	Refs int
+	// CacheBytes is the L2 capacity (default 1MB).
+	CacheBytes int
+	// DataLinesPerRef is how many L2 lines of program data each
+	// reference churns through the cache, creating the competition that
+	// evicts page-table lines (default 1).
+	DataLinesPerRef int
+	// Seed perturbs the trace.
+	Seed uint64
+}
+
+func (c *ResidencyConfig) fill() {
+	if c.Refs == 0 {
+		c.Refs = 200_000
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1 << 20
+	}
+	if c.DataLinesPerRef == 0 {
+		c.DataLinesPerRef = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// arena assigns a page table's nodes synthetic physical line addresses:
+// each walk's touched lines map to pseudo-random (but per-table
+// deterministic) positions within an arena sized to the table's PTE
+// footprint. Smaller footprints concentrate on fewer lines and so stay
+// resident — exactly the effect under study.
+type arena struct {
+	base  uint64
+	lines uint64
+	rng   *trace.RNG
+}
+
+func newArena(id int, footprint uint64, lineSize int) *arena {
+	lines := footprint / uint64(lineSize)
+	if lines == 0 {
+		lines = 1
+	}
+	return &arena{
+		base:  uint64(id+1) << 40, // disjoint address regions per table
+		lines: lines,
+		rng:   trace.NewRNG(uint64(id)*977 + 13),
+	}
+}
+
+// walkAddrs yields n line addresses for one walk. The first line of a
+// walk is placed by the faulting page (stable per page), and subsequent
+// chain/level lines follow pseudo-randomly — a deterministic stand-in
+// for real node placement.
+func (a *arena) walkAddrs(pageKey uint64, n int, lineSize int) []uint64 {
+	out := make([]uint64, 0, n)
+	line := pagetable.HashVPN(pageKey) % a.lines
+	for i := 0; i < n; i++ {
+		out = append(out, a.base+line*uint64(lineSize))
+		line = pagetable.HashVPN(line+pageKey+uint64(i)) % a.lines
+	}
+	return out
+}
+
+// RunResidency measures touched vs actually-missing page-table lines for
+// the Figure 11a setting (single-page-size TLB, base PTEs).
+func RunResidency(p trace.Profile, cfg ResidencyConfig) (ResidencyRow, error) {
+	cfg.fill()
+	row := ResidencyRow{
+		Workload:       p.Name,
+		TouchedPerMiss: map[string]float64{},
+		MissedPerMiss:  map[string]float64{},
+	}
+	variants := Fig11a.Variants()
+	m := memcost.NewModel(0)
+
+	touched := map[string]uint64{}
+	missed := map[string]uint64{}
+	var tlbMisses uint64
+
+	snaps := p.Snapshot()
+	for pi, snap := range snaps {
+		refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
+		if refs == 0 {
+			continue
+		}
+		builds := map[string]*Build{}
+		arenas := map[string]*arena{}
+		caches := map[string]*cache.Cache{}
+		for i, v := range variants {
+			b, err := BuildProcess(v, BaseOnly, snap, m)
+			if err != nil {
+				return row, err
+			}
+			builds[v.Name] = b
+			arenas[v.Name] = newArena(i, b.Table.Size().PTEBytes, 256)
+			caches[v.Name] = cache.MustNew(cache.Config{SizeBytes: cfg.CacheBytes, LineSize: 256, Ways: 4})
+		}
+		dataRng := trace.NewRNG(cfg.Seed * 7777)
+		t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
+		gen := trace.NewGenerator(snap, cfg.Seed*31+1)
+		for i := 0; i < refs; i++ {
+			va := gen.Next()
+			// Program data churns every cache (same stream for all).
+			dataLine := dataRng.Uint64() % (uint64(cfg.CacheBytes) * 4 / 256)
+			for _, c := range caches {
+				for d := 0; d < cfg.DataLinesPerRef; d++ {
+					c.Access(dataLine * 256)
+				}
+			}
+			if t.Access(va).Hit {
+				continue
+			}
+			tlbMisses++
+			for _, v := range variants {
+				b := builds[v.Name]
+				e, cost, ok := b.Table.Lookup(va)
+				if !ok {
+					return row, fmt.Errorf("%s lost %v", v.Name, va)
+				}
+				touched[v.Name] += uint64(cost.Lines)
+				for _, a := range arenas[v.Name].walkAddrs(uint64(e.VPN), cost.Lines, 256) {
+					if !caches[v.Name].Access(a) {
+						missed[v.Name]++
+					}
+				}
+				if v.Name == "clustered" {
+					t.Insert(e)
+				}
+			}
+		}
+	}
+	if tlbMisses == 0 {
+		return row, fmt.Errorf("sim: %s: no misses", p.Name)
+	}
+	for _, v := range variants {
+		row.TouchedPerMiss[v.Name] = float64(touched[v.Name]) / float64(tlbMisses)
+		row.MissedPerMiss[v.Name] = float64(missed[v.Name]) / float64(tlbMisses)
+	}
+	return row, nil
+}
+
+// SwTLBRow is one point of the §7 software-TLB experiment: "A software
+// TLB … makes it practical to use a slower forward-mapped page table."
+// It reports lines per TLB miss for a raw table and the same table
+// behind a 4096-entry software TLB.
+type SwTLBRow struct {
+	Workload  string
+	Table     string
+	RawLines  float64
+	SwLines   float64
+	SwHitRate float64
+}
+
+// SwTLBSweep runs a workload's single-page-size miss stream against a
+// page table with and without a software TLB front-end.
+func SwTLBSweep(p trace.Profile, tableName string, cfg AccessConfig) (SwTLBRow, error) {
+	cfg.fill()
+	row := SwTLBRow{Workload: p.Name, Table: tableName}
+	var v TableVariant
+	switch tableName {
+	case "forward-mapped":
+		v = TableVariant{Name: tableName, New: variantForward}
+	case "hashed":
+		v = TableVariant{Name: tableName, New: variantHashed}
+	case "clustered":
+		v = TableVariant{Name: tableName, New: variantClustered}
+	default:
+		return row, fmt.Errorf("sim: unknown table %q", tableName)
+	}
+
+	var rawLines, swLines, misses, swHits, swMisses uint64
+	snaps := p.Snapshot()
+	for pi, snap := range snaps {
+		refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
+		if refs == 0 {
+			continue
+		}
+		rawBuild, err := BuildProcess(v, BaseOnly, snap, cfg.LineModel)
+		if err != nil {
+			return row, err
+		}
+		swBuild, err := BuildProcess(v, BaseOnly, snap, cfg.LineModel)
+		if err != nil {
+			return row, err
+		}
+		sw := swtlb.MustNew(swtlb.Config{Entries: 4096, Ways: 2, CostModel: cfg.LineModel}, swBuild.Table)
+
+		t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: cfg.Entries})
+		gen := trace.NewGenerator(snap, cfg.Seed*31+1)
+		for i := 0; i < refs; i++ {
+			va := gen.Next()
+			if t.Access(va).Hit {
+				continue
+			}
+			misses++
+			e, cost, ok := rawBuild.Table.Lookup(va)
+			if !ok {
+				return row, fmt.Errorf("raw table lost %v", va)
+			}
+			rawLines += uint64(cost.Lines)
+			_, swCost, ok := sw.Lookup(va)
+			if !ok {
+				return row, fmt.Errorf("swtlb lost %v", va)
+			}
+			swLines += uint64(swCost.Lines)
+			t.Insert(e)
+		}
+		st := sw.CacheStats()
+		swHits += st.Hits
+		swMisses += st.Misses
+	}
+	if misses == 0 {
+		return row, fmt.Errorf("sim: %s: no misses", p.Name)
+	}
+	row.RawLines = float64(rawLines) / float64(misses)
+	row.SwLines = float64(swLines) / float64(misses)
+	if swHits+swMisses > 0 {
+		row.SwHitRate = float64(swHits) / float64(swHits+swMisses)
+	}
+	return row, nil
+}

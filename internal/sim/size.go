@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/trace"
+)
+
+// SizeRow is one workload's row of Figure 9 or Figure 10: absolute PTE
+// bytes per organization and the same normalized to the hashed page
+// table.
+type SizeRow struct {
+	Workload   string
+	HashedKB   float64
+	Bytes      map[string]uint64
+	Normalized map[string]float64
+}
+
+// Figure9 computes relative page-table size for single-page-size tables
+// across every profile (ten workloads + kernel), normalized to hashed
+// page table size.
+func Figure9(profiles []trace.Profile) ([]SizeRow, error) {
+	m := memcost.NewModel(0)
+	variants := SizeVariants()
+	var rows []SizeRow
+	for _, p := range profiles {
+		row := SizeRow{
+			Workload:   p.Name,
+			Bytes:      map[string]uint64{},
+			Normalized: map[string]float64{},
+		}
+		for _, v := range variants {
+			builds, err := BuildWorkload(v, BaseOnly, p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Bytes[v.Name] = WorkloadPTEBytes(builds)
+		}
+		hashedBytes := row.Bytes["hashed"]
+		row.HashedKB = float64(hashedBytes) / 1024
+		for name, b := range row.Bytes {
+			row.Normalized[name] = float64(b) / float64(hashedBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure10 computes relative page-table size for the organizations that
+// beat hashed page tables, including the superpage and partial-subblock
+// variants, normalized to the plain hashed page table.
+func Figure10(profiles []trace.Profile) ([]SizeRow, error) {
+	m := memcost.NewModel(0)
+	var rows []SizeRow
+	for _, p := range profiles {
+		row := SizeRow{
+			Workload:   p.Name,
+			Bytes:      map[string]uint64{},
+			Normalized: map[string]float64{},
+		}
+		hashedBuilds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+		if err != nil {
+			return nil, err
+		}
+		hashedBytes := WorkloadPTEBytes(hashedBuilds)
+		row.HashedKB = float64(hashedBytes) / 1024
+		for _, v := range Fig10Variants() {
+			builds, err := BuildWorkload(v.TableVariant, v.Mode, p, m)
+			if err != nil {
+				return nil, err
+			}
+			row.Bytes[v.Name] = WorkloadPTEBytes(builds)
+			row.Normalized[v.Name] = float64(row.Bytes[v.Name]) / float64(hashedBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

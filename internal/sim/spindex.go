@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/tlb"
+	"clusterpt/internal/trace"
+)
+
+// SPIndexRow compares the three ways §4.2 discusses storing superpage
+// PTEs in hashed organizations, on a superpage-TLB miss stream:
+//
+//   - multiple page tables (4KB searched first): two probes for
+//     superpage hits;
+//   - superpage-index hashing: one probe, but base pages of one region
+//     chain to a single bucket ("longer hash chains will increase TLB
+//     miss handling time");
+//   - clustered: one probe, short chains — the §5 resolution.
+type SPIndexRow struct {
+	Workload       string
+	MultiLines     float64
+	SPIndexLines   float64
+	ClusteredLines float64
+	// SPIndexMaxChain is the longest chain the superpage-index table
+	// grew — the §4.2 objection made visible.
+	SPIndexMaxChain int
+}
+
+// SPIndexSweep runs one workload's superpage-TLB miss stream against the
+// three organizations.
+func SPIndexSweep(p trace.Profile, cfg AccessConfig) (SPIndexRow, error) {
+	cfg.fill()
+	row := SPIndexRow{Workload: p.Name}
+
+	type variant struct {
+		name string
+		mk   func(memcost.Model) pagetable.PageTable
+		dst  *float64
+	}
+	variants := []variant{
+		{"hashed-multi", variantHashedMulti, &row.MultiLines},
+		{"hashed-spindex", func(m memcost.Model) pagetable.PageTable {
+			return hashed.MustNewSPIndex(hashed.Config{CostModel: m}, 4)
+		}, &row.SPIndexLines},
+		{"clustered", variantClustered, &row.ClusteredLines},
+	}
+
+	snaps := p.Snapshot()
+	for _, v := range variants {
+		var lines, misses uint64
+		for pi, snap := range snaps {
+			refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
+			if refs == 0 {
+				continue
+			}
+			build, err := BuildProcess(TableVariant{Name: v.name, New: v.mk}, WithSuperpages, snap, cfg.LineModel)
+			if err != nil {
+				return row, err
+			}
+			canon, err := BuildProcess(TableVariant{Name: "clustered", New: variantClustered}, WithSuperpages, snap, cfg.LineModel)
+			if err != nil {
+				return row, err
+			}
+			t := tlb.MustNew(tlb.Config{Kind: tlb.Superpage, Entries: cfg.Entries})
+			gen := trace.NewGenerator(snap, cfg.Seed*31+1)
+			for i := 0; i < refs; i++ {
+				va := gen.Next()
+				if t.Access(va).Hit {
+					continue
+				}
+				misses++
+				_, cost, ok := build.Table.Lookup(va)
+				if !ok {
+					return row, fmt.Errorf("sim: %s lost %v", v.name, va)
+				}
+				lines += uint64(cost.Lines)
+				e, _, ok := canon.Table.Lookup(va)
+				if !ok {
+					return row, fmt.Errorf("sim: canon lost %v", va)
+				}
+				t.Insert(e)
+			}
+			if sp, ok := build.Table.(*hashed.SPIndexTable); ok {
+				if _, maxChain := sp.ChainStats(); maxChain > row.SPIndexMaxChain {
+					row.SPIndexMaxChain = maxChain
+				}
+			}
+		}
+		if misses > 0 {
+			*v.dst = float64(lines) / float64(misses)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/tlb"
+	"clusterpt/internal/trace"
+)
+
+// Table1Row is one workload's row of the Table 1 reproduction. The
+// paper's absolute counts come from full program executions; ours are
+// scaled to the simulated trace length, so the comparable quantities are
+// the miss ratio, the percent of user time in TLB handling (40-cycle
+// penalty, §6.2), and the hashed page-table footprint.
+type Table1Row struct {
+	Workload string
+	// Accesses and Misses are simulated counts on a 64-entry
+	// fully-associative single-page-size TLB.
+	Accesses uint64
+	Misses   uint64
+	// MissRatio is Misses/Accesses.
+	MissRatio float64
+	// PctTLBTime is the §6.2 model: misses×40 cycles over user cycles
+	// (one cycle per reference) plus miss handling.
+	PctTLBTime float64
+	// HashedKB is the measured hashed-page-table footprint.
+	HashedKB float64
+	// Paper is the original row for side-by-side reporting.
+	Paper trace.Table1
+}
+
+// Table1Config parameterizes the characterization run.
+type Table1Config struct {
+	// Refs is the per-workload trace length (default 400k).
+	Refs int
+	// MissPenalty is the TLB miss penalty in cycles (default 40, §6.2).
+	MissPenalty float64
+	// Seed perturbs the traces.
+	Seed uint64
+}
+
+func (c *Table1Config) fill() {
+	if c.Refs == 0 {
+		c.Refs = 400_000
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunTable1 characterizes every traced workload on the base-case TLB and
+// measures its hashed-page-table footprint.
+func RunTable1(profiles []trace.Profile, cfg Table1Config) ([]Table1Row, error) {
+	cfg.fill()
+	m := memcost.NewModel(0)
+	var rows []Table1Row
+	for _, p := range profiles {
+		row := Table1Row{Workload: p.Name, Paper: p.Paper}
+
+		builds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+		if err != nil {
+			return nil, err
+		}
+		row.HashedKB = float64(WorkloadPTEBytes(builds)) / 1024
+
+		if !p.SnapshotOnly {
+			snaps := p.Snapshot()
+			for pi, snap := range snaps {
+				refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
+				if refs == 0 {
+					continue
+				}
+				t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
+				gen := trace.NewGenerator(snap, cfg.Seed*31+1)
+				pt := builds[pi].Table
+				for i := 0; i < refs; i++ {
+					va := gen.Next()
+					if !t.Access(va).Hit {
+						e, _, ok := pt.Lookup(va)
+						if !ok {
+							return nil, fmt.Errorf("sim: %s/%s lost %v", p.Name, snap.Name, va)
+						}
+						t.Insert(e)
+					}
+				}
+				st := t.Stats()
+				// Each trace step stands for Dwell same-page references;
+				// the extra references are guaranteed hits on a
+				// fully-associative TLB, so only the denominator scales.
+				row.Accesses += st.Accesses * p.DwellOrOne()
+				row.Misses += st.Misses
+			}
+			if row.Accesses > 0 {
+				row.MissRatio = float64(row.Misses) / float64(row.Accesses)
+				missCycles := float64(row.Misses) * cfg.MissPenalty
+				row.PctTLBTime = 100 * missCycles / (float64(row.Accesses) + missCycles)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,83 @@
+package tlb
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// lruModel is an independent reference implementation of a
+// fully-associative true-LRU single-page-size TLB, built on the stdlib
+// list to share no code with the implementation under test.
+type lruModel struct {
+	cap   int
+	order *list.List // front = MRU; values are VPNs
+	where map[addr.VPN]*list.Element
+}
+
+func newLRUModel(cap int) *lruModel {
+	return &lruModel{cap: cap, order: list.New(), where: map[addr.VPN]*list.Element{}}
+}
+
+func (m *lruModel) access(vpn addr.VPN) bool {
+	el, ok := m.where[vpn]
+	if !ok {
+		return false
+	}
+	m.order.MoveToFront(el)
+	return true
+}
+
+func (m *lruModel) insert(vpn addr.VPN) {
+	if el, ok := m.where[vpn]; ok {
+		m.order.MoveToFront(el)
+		return
+	}
+	if m.order.Len() == m.cap {
+		back := m.order.Back()
+		delete(m.where, back.Value.(addr.VPN))
+		m.order.Remove(back)
+	}
+	m.where[vpn] = m.order.PushFront(vpn)
+}
+
+// TestLRUAgainstModel replays random reference streams with several
+// working-set shapes through the TLB and the reference model; hit/miss
+// decisions must agree on every access.
+func TestLRUAgainstModel(t *testing.T) {
+	for _, entries := range []int{1, 4, 64} {
+		for _, span := range []int{2, 60, 64, 65, 400} {
+			tl := MustNew(Config{Entries: entries})
+			model := newLRUModel(entries)
+			rng := rand.New(rand.NewSource(int64(entries*1000 + span)))
+			for i := 0; i < 20000; i++ {
+				var vpn addr.VPN
+				switch rng.Intn(3) {
+				case 0: // uniform random
+					vpn = addr.VPN(rng.Intn(span))
+				case 1: // sequential sweep
+					vpn = addr.VPN(i % span)
+				default: // hot head
+					vpn = addr.VPN(rng.Intn(span/4 + 1))
+				}
+				got := tl.Access(addr.VAOf(vpn)).Hit
+				want := model.access(vpn)
+				if got != want {
+					t.Fatalf("entries=%d span=%d step %d vpn %#x: hit=%v model=%v",
+						entries, span, i, uint64(vpn), got, want)
+				}
+				if !got {
+					tl.Insert(pte.Entry{VPN: vpn, PPN: addr.PPN(vpn), Size: addr.Size4K})
+					model.insert(vpn)
+				}
+			}
+			st := tl.Stats()
+			if st.Hits+st.Misses != st.Accesses {
+				t.Fatalf("stats inconsistent: %+v", st)
+			}
+		}
+	}
+}

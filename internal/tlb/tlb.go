@@ -1,0 +1,384 @@
+// Package tlb simulates the TLB organizations the paper evaluates (§4.1,
+// §6): a conventional single-page-size TLB, a superpage TLB, a
+// partial-subblock TLB, and a complete-subblock TLB with optional
+// subblock prefetching (§4.4). All are fully associative with true LRU
+// replacement, matching the paper's 64-entry base case.
+//
+// The simulator separates access from fill: Access reports whether the
+// TLB covers a virtual address, and on a miss the caller services it from
+// a page table and calls Insert (or InsertBlock for prefetch). The
+// complete-subblock TLB distinguishes block misses, which allocate an
+// entry and may replace another, from subblock misses, which only add a
+// mapping to an existing entry.
+package tlb
+
+import (
+	"fmt"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// Kind selects the TLB organization.
+type Kind int
+
+// TLB organizations.
+const (
+	// SinglePageSize is a conventional TLB: one 4KB page per entry.
+	SinglePageSize Kind = iota
+	// Superpage entries cover a power-of-two-sized, aligned page of any
+	// supported size.
+	Superpage
+	// PartialSubblock entries cover an aligned page block with one base
+	// frame and a valid bit vector; pages not properly placed fall back
+	// to single-page entries.
+	PartialSubblock
+	// CompleteSubblock entries cover an aligned page block with one PPN
+	// per subblock — no placement requirement.
+	CompleteSubblock
+)
+
+// String names the organization.
+func (k Kind) String() string {
+	switch k {
+	case SinglePageSize:
+		return "single-page-size"
+	case Superpage:
+		return "superpage"
+	case PartialSubblock:
+		return "partial-subblock"
+	case CompleteSubblock:
+		return "complete-subblock"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a simulated TLB.
+type Config struct {
+	// Kind is the organization; default SinglePageSize.
+	Kind Kind
+	// Entries is the entry count; default 64 (§6.1).
+	Entries int
+	// LogSBF is the subblock geometry for the subblock kinds; default 4
+	// (16 subblocks, 64KB blocks).
+	LogSBF uint
+}
+
+func (c *Config) fill() error {
+	if c.Entries == 0 {
+		c.Entries = 64
+	}
+	if c.Entries < 1 {
+		return fmt.Errorf("tlb: entries %d", c.Entries)
+	}
+	if c.LogSBF == 0 {
+		c.LogSBF = 4
+	}
+	if c.LogSBF > 4 {
+		return fmt.Errorf("tlb: LogSBF %d exceeds the 16-bit valid vector", c.LogSBF)
+	}
+	return nil
+}
+
+// Stats counts TLB traffic. For the complete-subblock kind Misses =
+// BlockMisses + SubblockMisses.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	BlockMisses    uint64
+	SubblockMisses uint64
+	Replacements   uint64
+}
+
+// MissRatio returns misses per access.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// entry is one fully-associative TLB slot.
+type entry struct {
+	valid bool
+	// format distinguishes what the slot holds:
+	//   single:  tag covers one base page (vpn), frame ppn
+	//   span:    tag covers a superpage (base vpn + size)
+	//   psb:     tag covers a page block (vpbn) with valid vector + base frame
+	//   csb:     tag covers a page block (vpbn) with per-subblock frames
+	format format
+	vpn    addr.VPN
+	size   addr.Size
+	vpbn   addr.VPBN
+	mask   uint16
+	ppn    addr.PPN
+	ppns   []addr.PPN
+	lru    uint64
+}
+
+type format uint8
+
+const (
+	fSingle format = iota
+	fSpan
+	fPSB
+	fCSB
+)
+
+// Result reports the outcome of one access.
+type Result struct {
+	// Hit is true when the TLB covered the address.
+	Hit bool
+	// SubblockMiss is true when a complete-subblock TLB had the block's
+	// tag resident but not the page's mapping: servicing it adds a
+	// mapping without replacing an entry (§4.4).
+	SubblockMiss bool
+}
+
+// TLB is a simulated, fully-associative, true-LRU TLB.
+type TLB struct {
+	cfg     Config
+	entries []entry
+	tick    uint64
+	stats   Stats
+}
+
+// New creates a TLB.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Kind returns the organization.
+func (t *TLB) Kind() Kind { return t.cfg.Kind }
+
+// Entries returns the entry count.
+func (t *TLB) Entries() int { return t.cfg.Entries }
+
+// covers reports whether slot e translates vpn.
+func (t *TLB) covers(e *entry, vpn addr.VPN) bool {
+	if !e.valid {
+		return false
+	}
+	switch e.format {
+	case fSingle:
+		return e.vpn == vpn
+	case fSpan:
+		return vpn&^addr.VPN(e.size.Pages()-1) == e.vpn
+	case fPSB, fCSB:
+		vpbn, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		return e.vpbn == vpbn && e.mask>>boff&1 == 1
+	}
+	return false
+}
+
+// Access looks up va, updating LRU state and statistics.
+func (t *TLB) Access(va addr.V) Result {
+	vpn := addr.VPNOf(va)
+	t.tick++
+	t.stats.Accesses++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if t.covers(e, vpn) {
+			e.lru = t.tick
+			t.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	t.stats.Misses++
+	if t.cfg.Kind == CompleteSubblock {
+		vpbn, _ := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		if t.findBlock(vpbn) != nil {
+			t.stats.SubblockMisses++
+			return Result{SubblockMiss: true}
+		}
+		t.stats.BlockMisses++
+	}
+	return Result{}
+}
+
+// Translate returns the frame for va if the TLB covers it, without
+// touching LRU state or statistics (a debugging aid).
+func (t *TLB) Translate(va addr.V) (addr.PPN, bool) {
+	vpn := addr.VPNOf(va)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !t.covers(e, vpn) {
+			continue
+		}
+		switch e.format {
+		case fSingle:
+			return e.ppn, true
+		case fSpan:
+			return e.ppn + addr.PPN(vpn-e.vpn), true
+		case fPSB:
+			_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+			return e.ppn + addr.PPN(boff), true
+		case fCSB:
+			_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+			return e.ppns[boff], true
+		}
+	}
+	return 0, false
+}
+
+func (t *TLB) findBlock(vpbn addr.VPBN) *entry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && (e.format == fCSB || e.format == fPSB) && e.vpbn == vpbn {
+			return e
+		}
+	}
+	return nil
+}
+
+// victim returns the LRU slot for replacement.
+func (t *TLB) victim() *entry {
+	v := &t.entries[0]
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			return e
+		}
+		if e.lru < v.lru {
+			v = e
+		}
+	}
+	if v.valid {
+		t.stats.Replacements++
+	}
+	return v
+}
+
+// Insert loads the translation a page-table walk produced for the
+// faulting page. The entry format stored depends on the TLB kind and the
+// PTE kind, per §4–§5:
+//
+//   - single-page-size TLBs always store one base page;
+//   - superpage TLBs store the whole superpage when the PTE is one;
+//   - partial-subblock TLBs store the psb vector, treat block-sized-or-
+//     larger superpages as fully-valid blocks, and fall back to a
+//     single-page entry otherwise;
+//   - complete-subblock TLBs add the page's mapping to the block's entry,
+//     allocating it on a block miss.
+func (t *TLB) Insert(e pte.Entry) {
+	t.tick++
+	vpn := e.VPN
+	switch t.cfg.Kind {
+	case SinglePageSize:
+		t.insertSingle(vpn, e.PPN)
+	case Superpage:
+		if e.Kind == pte.KindSuperpage {
+			base := vpn &^ addr.VPN(e.Size.Pages()-1)
+			t.insertSpan(base, e.Size, e.PPN-addr.PPN(vpn-base))
+			return
+		}
+		t.insertSingle(vpn, e.PPN)
+	case PartialSubblock:
+		vpbn, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		sbf := uint64(1) << t.cfg.LogSBF
+		switch {
+		case e.Kind == pte.KindPartial:
+			t.insertPSB(vpbn, e.ValidMask, e.PPN-addr.PPN(boff))
+		case e.Kind == pte.KindSuperpage && e.Size.Pages() >= sbf:
+			// A superpage is a fully-valid properly-placed block (§4.3).
+			mask := uint16(1)<<sbf - 1
+			if sbf == 16 {
+				mask = ^uint16(0)
+			}
+			t.insertPSB(vpbn, mask, e.PPN-addr.PPN(boff))
+		default:
+			t.insertSingle(vpn, e.PPN)
+		}
+	case CompleteSubblock:
+		vpbn, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		if blk := t.findBlock(vpbn); blk != nil {
+			// Subblock miss service: add the mapping, no replacement.
+			blk.mask |= 1 << boff
+			blk.ppns[boff] = e.PPN
+			blk.lru = t.tick
+			return
+		}
+		v := t.victim()
+		*v = entry{
+			valid:  true,
+			format: fCSB,
+			vpbn:   vpbn,
+			mask:   1 << boff,
+			ppns:   make([]addr.PPN, 1<<t.cfg.LogSBF),
+			lru:    t.tick,
+		}
+		v.ppns[boff] = e.PPN
+	}
+}
+
+// InsertBlock services a complete-subblock block miss with prefetching
+// (§4.4): all of the block's resident mappings load under one tag, so
+// later references to the block's other pages are hits, never subblock
+// misses, and no extra replacements occur.
+func (t *TLB) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
+	if t.cfg.Kind != CompleteSubblock {
+		panic("tlb: InsertBlock on non-complete-subblock TLB")
+	}
+	t.tick++
+	blk := t.findBlock(vpbn)
+	if blk == nil {
+		blk = t.victim()
+		*blk = entry{
+			valid:  true,
+			format: fCSB,
+			vpbn:   vpbn,
+			ppns:   make([]addr.PPN, 1<<t.cfg.LogSBF),
+		}
+	}
+	blk.lru = t.tick
+	for _, e := range entries {
+		evpbn, boff := addr.BlockSplit(e.VPN, t.cfg.LogSBF)
+		if evpbn != vpbn {
+			continue
+		}
+		blk.mask |= 1 << boff
+		blk.ppns[boff] = e.PPN
+	}
+}
+
+func (t *TLB) insertSingle(vpn addr.VPN, ppn addr.PPN) {
+	v := t.victim()
+	*v = entry{valid: true, format: fSingle, vpn: vpn, ppn: ppn, lru: t.tick}
+}
+
+func (t *TLB) insertSpan(base addr.VPN, size addr.Size, basePPN addr.PPN) {
+	v := t.victim()
+	*v = entry{valid: true, format: fSpan, vpn: base, size: size, ppn: basePPN, lru: t.tick}
+}
+
+func (t *TLB) insertPSB(vpbn addr.VPBN, mask uint16, basePPN addr.PPN) {
+	v := t.victim()
+	*v = entry{valid: true, format: fPSB, vpbn: vpbn, mask: mask, ppn: basePPN, lru: t.tick}
+}
+
+// Flush invalidates every entry (context switch without ASIDs).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Stats returns the traffic counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats clears the traffic counters, keeping TLB contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }

@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"clusterpt/internal/pte"
+)
+
+// Pattern is a region's reference behaviour.
+type Pattern int
+
+// Reference patterns.
+const (
+	// Sequential sweeps the region's mapped pages in order, wrapping —
+	// array initialization, copying garbage collectors.
+	Sequential Pattern = iota
+	// Strided visits every Stride-th page, wrapping — column walks of
+	// matrices, FFT butterflies.
+	Strided
+	// Random references mapped pages uniformly — hash tables, particle
+	// codes.
+	Random
+	// Chase follows a fixed random permutation cycle over the mapped
+	// pages — linked structures, deductive-database joins.
+	Chase
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	case Chase:
+		return "chase"
+	default:
+		return "unknown"
+	}
+}
+
+// RegionSpec describes one virtual region of a process.
+type RegionSpec struct {
+	// Name labels the region (text, heap, stack, …).
+	Name string
+	// Pages is the region's extent in base pages.
+	Pages uint64
+	// Density is the fraction of the extent actually mapped; holes make
+	// the address space bursty rather than uniformly dense (§3).
+	Density float64
+	// Attr is the protection for the region's mappings.
+	Attr pte.Attr
+	// Weight is the region's share of the process's references.
+	Weight float64
+	// Pattern is the reference behaviour.
+	Pattern Pattern
+	// Stride is the page stride for the Strided pattern.
+	Stride uint64
+	// Scatter places the region at a pseudo-random 64KB-aligned base
+	// instead of packing it after the previous region — isolated
+	// mappings that stress tree page tables.
+	Scatter bool
+	// Unaligned offsets the region base by a few pages so its blocks
+	// straddle page-block boundaries.
+	Unaligned bool
+}
+
+// ProcessSpec describes one process of a workload.
+type ProcessSpec struct {
+	// Name labels the process.
+	Name string
+	// Regions is the address-space layout.
+	Regions []RegionSpec
+	// RefShare is the process's share of the workload's references.
+	RefShare float64
+}
+
+// Table1 carries the paper's Table 1 row for a workload, used for
+// calibration and for the Table 1 reproduction.
+type Table1 struct {
+	// TotalSec and UserSec are the paper's execution times.
+	TotalSec, UserSec float64
+	// UserTLBMissesK is the paper's user TLB miss count, in thousands.
+	UserTLBMissesK uint64
+	// PctTLBTime is the percent of user time in TLB miss handling.
+	PctTLBTime float64
+	// HashedKB is the hashed-page-table footprint in KB, the column that
+	// calibrates our mapped-page counts.
+	HashedKB uint64
+}
+
+// Profile is one named workload.
+type Profile struct {
+	// Name is the paper's workload name.
+	Name string
+	// Procs are the constituent processes (most workloads have one; gcc
+	// and compress are multiprogrammed, §6.2 footnote 3).
+	Procs []ProcessSpec
+	// Paper is the Table 1 row.
+	Paper Table1
+	// Seed makes the profile's snapshot and traces deterministic.
+	Seed uint64
+	// SnapshotOnly marks profiles that participate only in the size
+	// experiments (the kernel has no user reference trace).
+	SnapshotOnly bool
+	// Dwell is the number of same-page references each trace step
+	// stands for. The generator emits one reference per page visit; a
+	// real program makes Dwell references before leaving the page, and
+	// on a fully-associative TLB those extra references are guaranteed
+	// hits (the entry was just loaded), so they add no misses — only
+	// accesses. Dwell is calibrated per workload so the §6.2 "% user
+	// time in TLB miss handling" column lands near the paper's; the
+	// miss streams and Figure 11 results are independent of it.
+	Dwell uint64
+}
+
+// DwellOrOne returns the dwell factor, defaulting to 1.
+func (p Profile) DwellOrOne() uint64 {
+	if p.Dwell == 0 {
+		return 1
+	}
+	return p.Dwell
+}
+
+// pages converts a Table 1 hashed-PT footprint to the populated base
+// page count it implies: 24 bytes per hashed PTE (Table 2).
+func pages(hashedKB uint64) uint64 { return hashedKB * 1024 / 24 }
+
+// Profiles returns the ten workloads of §6.2 plus the kernel address
+// space, ordered as in Table 1 (most to least TLB-bound).
+//
+// Region structures are chosen per workload character:
+//
+//   - coral: deductive database; large dense tuple heap walked with
+//     pointer chases plus a nested-loop join's strided sweeps.
+//   - nasa7: numeric kernels on a small dense footprint swept with large
+//     strides — tiny table, brutal TLB behaviour.
+//   - compress: two processes (compress itself plus the script driving
+//     it), small sparse footprints.
+//   - fftpde: 64³ FFT, dense matrix with power-of-two strides.
+//   - wave5: dense numeric arrays, mixed sequential/strided sweeps.
+//   - mp3d: particle code, uniform random over a modest heap.
+//   - spice: circuit matrix plus device lists, mixed patterns.
+//   - pthor: logic simulator, scattered medium objects, chases.
+//   - ML: SML/NJ garbage-collector stress: two large dense semispaces,
+//     sequential allocation sweep plus copying scans.
+//   - gcc: multiprogrammed compile job (cc1, make, sh, script-ish mix),
+//     many small sparse address spaces.
+//   - kernel: mappings only (no trace), scattered medium objects.
+func Profiles() []Profile {
+	rw := pte.AttrR | pte.AttrW
+	rx := pte.AttrR | pte.AttrX
+	return []Profile{
+		{
+			Name: "coral", Dwell: 40, Seed: 0xC0441,
+			Paper: Table1{177, 172, 85974, 50, 119},
+			Procs: []ProcessSpec{{
+				Name: "coral", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 256, Density: 1, Attr: rx, Weight: 0.05, Pattern: Random},
+					{Name: "tuples", Pages: 3600, Density: 1, Attr: rw, Weight: 0.60, Pattern: Chase},
+					{Name: "join", Pages: 1024, Density: 1, Attr: rw, Weight: 0.30, Pattern: Strided, Stride: 33},
+					{Name: "stack", Pages: 64, Density: 1, Attr: rw, Weight: 0.05, Pattern: Sequential, Scatter: true},
+				},
+			}},
+		},
+		{
+			Name: "nasa7", Dwell: 60, Seed: 0x7A547,
+			Paper: Table1{387, 385, 152357, 40, 21},
+			Procs: []ProcessSpec{{
+				Name: "nasa7", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 64, Density: 1, Attr: rx, Weight: 0.02, Pattern: Random},
+					{Name: "matrix", Pages: 700, Density: 1, Attr: rw, Weight: 0.88, Pattern: Strided, Stride: 97},
+					{Name: "work", Pages: 100, Density: 1, Attr: rw, Weight: 0.10, Pattern: Sequential},
+				},
+			}},
+		},
+		{
+			Name: "compress", Dwell: 78, Seed: 0xC0335,
+			Paper: Table1{104, 82, 21347, 26, 8},
+			Procs: []ProcessSpec{
+				{
+					Name: "compress", RefShare: 0.85,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 24, Density: 1, Attr: rx, Weight: 0.05, Pattern: Random},
+						{Name: "dict", Pages: 240, Density: 1, Attr: rw, Weight: 0.95, Pattern: Random},
+					},
+				},
+				{
+					Name: "sh", RefShare: 0.15,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 40, Density: 0.55, Attr: rx, Weight: 0.5, Pattern: Random, Scatter: true},
+						{Name: "heap", Pages: 80, Density: 0.5, Attr: rw, Weight: 0.4, Pattern: Random, Scatter: true, Unaligned: true},
+						{Name: "stack", Pages: 24, Density: 0.6, Attr: rw, Weight: 0.1, Pattern: Sequential, Scatter: true},
+					},
+				},
+			},
+		},
+		{
+			Name: "fftpde", Dwell: 150, Seed: 0xFF7DE,
+			Paper: Table1{55, 53, 11280, 21, 88},
+			Procs: []ProcessSpec{{
+				Name: "fftpde", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 64, Density: 1, Attr: rx, Weight: 0.02, Pattern: Random},
+					{Name: "grid", Pages: 3460, Density: 1, Attr: rw, Weight: 0.90, Pattern: Strided, Stride: 64},
+					{Name: "twiddle", Pages: 190, Density: 1, Attr: rw, Weight: 0.06, Pattern: Sequential},
+					{Name: "stack", Pages: 40, Density: 1, Attr: rw, Weight: 0.02, Pattern: Sequential, Scatter: true},
+				},
+			}},
+		},
+		{
+			Name: "wave5", Dwell: 246, Seed: 0x3A7E5,
+			Paper: Table1{110, 107, 14511, 14, 86},
+			Procs: []ProcessSpec{{
+				Name: "wave5", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 128, Density: 1, Attr: rx, Weight: 0.03, Pattern: Random},
+					{Name: "fields", Pages: 2960, Density: 1, Attr: rw, Weight: 0.72, Pattern: Strided, Stride: 41},
+					{Name: "particles", Pages: 540, Density: 1, Attr: rw, Weight: 0.23, Pattern: Sequential},
+					{Name: "stack", Pages: 40, Density: 1, Attr: rw, Weight: 0.02, Pattern: Sequential, Scatter: true},
+				},
+			}},
+		},
+		{
+			Name: "mp3d", Dwell: 310, Seed: 0x30D3D,
+			Paper: Table1{36, 36, 4050, 11, 29},
+			Procs: []ProcessSpec{{
+				Name: "mp3d", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 48, Density: 1, Attr: rx, Weight: 0.04, Pattern: Random},
+					{Name: "particles", Pages: 1000, Density: 1, Attr: rw, Weight: 0.80, Pattern: Random},
+					{Name: "cells", Pages: 189, Density: 1, Attr: rw, Weight: 0.16, Pattern: Sequential},
+				},
+			}},
+		},
+		{
+			Name: "spice", Dwell: 508, Seed: 0x5B1CE,
+			Paper: Table1{620, 617, 41922, 7, 22},
+			Procs: []ProcessSpec{{
+				Name: "spice", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 160, Density: 1, Attr: rx, Weight: 0.10, Pattern: Random},
+					{Name: "matrix", Pages: 480, Density: 1, Attr: rw, Weight: 0.55, Pattern: Random},
+					{Name: "devices", Pages: 240, Density: 1, Attr: rw, Weight: 0.35, Pattern: Sequential},
+				},
+			}},
+		},
+		{
+			Name: "pthor", Dwell: 526, Seed: 0x97406,
+			Paper: Table1{48, 35, 2580, 7, 92},
+			Procs: []ProcessSpec{{
+				Name: "pthor", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 200, Density: 1, Attr: rx, Weight: 0.05, Pattern: Random},
+					{Name: "elements", Pages: 2900, Density: 0.85, Attr: rw, Weight: 0.55, Pattern: Chase},
+					{Name: "queues", Pages: 800, Density: 0.75, Attr: rw, Weight: 0.30, Pattern: Random, Scatter: true, Unaligned: true},
+					{Name: "heap2", Pages: 800, Density: 0.8, Attr: rw, Weight: 0.10, Pattern: Sequential, Scatter: true},
+				},
+			}},
+		},
+		{
+			Name: "ML", Dwell: 960, Seed: 0x3117,
+			Paper: Table1{950, 919, 38423, 4, 194},
+			Procs: []ProcessSpec{{
+				Name: "ML", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "text", Pages: 300, Density: 1, Attr: rx, Weight: 0.05, Pattern: Random},
+					{Name: "fromspace", Pages: 3900, Density: 1, Attr: rw, Weight: 0.45, Pattern: Sequential},
+					{Name: "tospace", Pages: 3900, Density: 1, Attr: rw, Weight: 0.45, Pattern: Sequential},
+					{Name: "stack", Pages: 180, Density: 1, Attr: rw, Weight: 0.05, Pattern: Sequential, Scatter: true},
+				},
+			}},
+		},
+		{
+			Name: "gcc", Dwell: 1558, Seed: 0x6CC,
+			Paper: Table1{159, 133, 2440, 2, 34},
+			Procs: []ProcessSpec{
+				{
+					Name: "cc1", RefShare: 0.7,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 350, Density: 0.9, Attr: rx, Weight: 0.35, Pattern: Random},
+						{Name: "heap", Pages: 900, Density: 0.8, Attr: rw, Weight: 0.60, Pattern: Chase},
+						{Name: "stack", Pages: 40, Density: 0.8, Attr: rw, Weight: 0.05, Pattern: Sequential, Scatter: true},
+					},
+				},
+				{
+					Name: "make", RefShare: 0.1,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 100, Density: 0.5, Attr: rx, Weight: 0.5, Pattern: Random, Scatter: true},
+						{Name: "heap", Pages: 200, Density: 0.45, Attr: rw, Weight: 0.5, Pattern: Random, Scatter: true, Unaligned: true},
+					},
+				},
+				{
+					Name: "sh", RefShare: 0.1,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 80, Density: 0.5, Attr: rx, Weight: 0.5, Pattern: Random, Scatter: true, Unaligned: true},
+						{Name: "heap", Pages: 150, Density: 0.4, Attr: rw, Weight: 0.5, Pattern: Random, Scatter: true},
+					},
+				},
+				{
+					Name: "script", RefShare: 0.1,
+					Regions: []RegionSpec{
+						{Name: "text", Pages: 70, Density: 0.45, Attr: rx, Weight: 0.5, Pattern: Random, Scatter: true},
+						{Name: "heap", Pages: 160, Density: 0.4, Attr: rw, Weight: 0.5, Pattern: Random, Scatter: true, Unaligned: true},
+					},
+				},
+			},
+		},
+		{
+			Name: "kernel", Seed: 0x4E44E1, SnapshotOnly: true,
+			Paper: Table1{0, 0, 0, 0, 186},
+			Procs: []ProcessSpec{{
+				Name: "kernel", RefShare: 1,
+				Regions: []RegionSpec{
+					{Name: "ktext", Pages: 700, Density: 1, Attr: rx, Weight: 0.3, Pattern: Random},
+					{Name: "kdata", Pages: 2500, Density: 0.95, Attr: rw, Weight: 0.3, Pattern: Random},
+					{Name: "kmem-slabs", Pages: 3400, Density: 0.85, Attr: rw, Weight: 0.2, Pattern: Random, Scatter: true},
+					{Name: "kmaps", Pages: 2600, Density: 0.8, Attr: rw, Weight: 0.2, Pattern: Random, Scatter: true, Unaligned: true},
+				},
+			}},
+		},
+	}
+}
+
+// ProfileByName finds a profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
