@@ -7,10 +7,13 @@
 package clusterpt_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"clusterpt"
+	"clusterpt/internal/engine"
 	"clusterpt/internal/sim"
 	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
@@ -161,6 +164,39 @@ func BenchmarkLoadFactorSweep(b *testing.B) {
 		b.ReportMetric(r.Measured, fmt.Sprintf("nodes@b%d", r.Buckets))
 	}
 }
+
+// --- Experiment engine: serial vs parallel cell throughput ---
+
+// benchEngine runs one full experiment through the engine's worker pool
+// and reports cell and reference throughput. The Serial/Parallel pair
+// tracks the engine's fan-out speedup (on a single-core runner the two
+// converge; the refs/s metric is the hardware-independent baseline).
+func benchEngine(b *testing.B, experiment string, workers int) {
+	b.Helper()
+	eng := engine.New(engine.Options{Refs: benchRefs, Workers: workers, Log: io.Discard})
+	ctx := context.Background()
+	var st engine.Stats
+	for i := 0; i < b.N; i++ {
+		results, err := eng.Run(ctx, experiment)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = results[0].Stats
+		if st.CellsDone != st.Cells {
+			b.Fatalf("%d of %d cells completed", st.CellsDone, st.Cells)
+		}
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(st.Cells)*float64(b.N)/sec, "cells/s")
+		b.ReportMetric(float64(st.Refs)*float64(b.N)/sec, "refs/s")
+	}
+}
+
+func BenchmarkEngineTable1Serial(b *testing.B)   { benchEngine(b, "table1", 1) }
+func BenchmarkEngineTable1Parallel(b *testing.B) { benchEngine(b, "table1", 8) }
+func BenchmarkEngineFig11aSerial(b *testing.B)   { benchEngine(b, "fig11a", 1) }
+func BenchmarkEngineFig11aParallel(b *testing.B) { benchEngine(b, "fig11a", 8) }
 
 // --- Micro-benchmarks of the core data structure ---
 

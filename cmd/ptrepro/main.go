@@ -4,381 +4,97 @@
 // Appendix Table 2 analytic cross-check, and the §6.3/§7 sensitivity
 // sweeps.
 //
+// Every experiment resolves through the engine registry
+// (internal/engine): the engine fans each experiment's cells over a
+// bounded worker pool and merges results deterministically, so output
+// is byte-identical at any -workers count for a fixed -seed/-refs.
+//
 // Usage:
 //
-//	ptrepro [-exp all|table1|fig9|fig10|fig11a|fig11b|fig11c|fig11d|table2|lines|sweeps] [-refs N]
+//	ptrepro [-exp all|<name>] [-refs N] [-seed S] [-workers N] [-csv] [-v]
+//	ptrepro -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
 
+	"clusterpt/internal/engine"
 	"clusterpt/internal/report"
-	"clusterpt/internal/sim"
-	"clusterpt/internal/trace"
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run")
-	refsFlag = flag.Int("refs", 400_000, "references per workload trace")
-	seedFlag = flag.Uint64("seed", 1, "trace seed")
-	csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	expFlag     = flag.String("exp", "all", "experiment to run (see -list)")
+	refsFlag    = flag.Int("refs", 400_000, "references per workload trace")
+	seedFlag    = flag.Uint64("seed", 1, "base trace seed (cells derive independent streams)")
+	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent experiment cells")
+	verboseFlag = flag.Bool("v", false, "log per-experiment progress to stderr")
+	listFlag    = flag.Bool("list", false, "list registered experiments and exit")
 )
-
-// render writes a table in the selected format.
-func render(t *report.Table) {
-	if *csvFlag {
-		t.RenderCSV(os.Stdout)
-		return
-	}
-	t.Render(os.Stdout)
-}
 
 func main() {
 	flag.Parse()
-	if err := run(*expFlag); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *listFlag {
+		list(os.Stdout)
+		return
+	}
+	if err := run(ctx, os.Stdout, *expFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "ptrepro: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string) error {
-	experiments := []struct {
-		name string
-		fn   func() error
-	}{
-		{"table1", table1},
-		{"fig9", fig9},
-		{"fig10", fig10},
-		{"fig11a", func() error { return fig11(sim.Fig11a) }},
-		{"fig11b", func() error { return fig11(sim.Fig11b) }},
-		{"fig11c", func() error { return fig11(sim.Fig11c) }},
-		{"fig11d", func() error { return fig11(sim.Fig11d) }},
-		{"table2", table2},
-		{"lines", lines},
-		{"sweeps", sweeps},
-		{"residency", residency},
-		{"swtlb", swtlbExp},
-		{"multiprog", multiprog},
-		{"verify", verify},
-	}
-	all := exp == "all"
-	ran := false
-	for _, e := range experiments {
-		if all || exp == e.name {
-			ran = true
-			if err := e.fn(); err != nil {
-				return fmt.Errorf("%s: %w", e.name, err)
-			}
+func newEngine() *engine.Engine {
+	return engine.New(engine.Options{
+		Refs:    *refsFlag,
+		Seed:    *seedFlag,
+		Workers: *workersFlag,
+		Verbose: *verboseFlag,
+	})
+}
+
+// list prints the registry: one line per experiment, with dependencies.
+func list(w io.Writer) {
+	eng := newEngine()
+	for _, name := range eng.Names() {
+		desc, deps, _ := eng.Describe(name)
+		if len(deps) > 0 {
+			fmt.Fprintf(w, "%-10s %s (after: %v)\n", name, desc, deps)
+		} else {
+			fmt.Fprintf(w, "%-10s %s\n", name, desc)
 		}
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
-	return nil
 }
 
-func accessCfg() sim.AccessConfig {
-	return sim.AccessConfig{Refs: *refsFlag, Seed: *seedFlag}
-}
-
-func table1() error {
-	rows, err := sim.RunTable1(trace.Profiles(), sim.Table1Config{Refs: *refsFlag, Seed: *seedFlag})
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 1: workload characteristics (simulated trace vs paper)",
-		"workload", "refs", "TLB misses", "miss ratio", "%time TLB (40cyc)", "paper %", "hashed KB", "paper KB")
-	for _, r := range rows {
-		t.Row(r.Workload, r.Accesses, r.Misses,
-			fmt.Sprintf("%.4f", r.MissRatio),
-			fmt.Sprintf("%.1f", r.PctTLBTime),
-			fmt.Sprintf("%.0f", r.Paper.PctTLBTime),
-			fmt.Sprintf("%.0f", r.HashedKB),
-			r.Paper.HashedKB)
-	}
-	render(t)
-	return nil
-}
-
-func fig9() error {
-	rows, err := sim.Figure9(trace.Profiles())
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 9: page table size, single page size (normalized to hashed; paper truncates at 5.0)",
-		"workload", "linear-6level", "linear-1level", "forward", "hashed", "clustered", "clustered bar")
-	for _, r := range rows {
-		t.Row(r.Workload,
-			norm(r.Normalized["linear-6level"]),
-			norm(r.Normalized["linear-1level"]),
-			norm(r.Normalized["forward-mapped"]),
-			norm(r.Normalized["hashed"]),
-			norm(r.Normalized["clustered"]),
-			report.Bar(r.Normalized["clustered"], 1.0, 20))
-	}
-	render(t)
-	return nil
-}
-
-func fig10() error {
-	rows, err := sim.Figure10(trace.Profiles())
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 10: page tables below hashed size, with superpage/partial-subblock PTEs (normalized to hashed)",
-		"workload", "hashed+superpage", "clustered", "clustered+superpage", "clustered+psb")
-	for _, r := range rows {
-		t.Row(r.Workload,
-			norm(r.Normalized["hashed+superpage"]),
-			norm(r.Normalized["clustered"]),
-			norm(r.Normalized["clustered+superpage"]),
-			norm(r.Normalized["clustered+psb"]))
-	}
-	render(t)
-	return nil
-}
-
-func fig11(f sim.Figure) error {
-	titles := map[sim.Figure]string{
-		sim.Fig11a: "Figure 11a: avg cache lines per TLB miss, single-page-size TLB (64-entry FA)",
-		sim.Fig11b: "Figure 11b: avg cache lines per TLB miss, superpage TLB (4KB+64KB)",
-		sim.Fig11c: "Figure 11c: avg cache lines per TLB miss, partial-subblock TLB (factor 16)",
-		sim.Fig11d: "Figure 11d: avg cache lines per TLB miss, complete-subblock TLB with prefetch (note scale)",
-	}
-	t := report.NewTable(titles[f],
-		"workload", "ref misses", "linear", "forward", "hashed", "clustered")
-	for _, p := range trace.Profiles() {
-		if p.SnapshotOnly {
-			continue
+// run executes the selected experiment(s) and renders every table the
+// engine hands back — including tables from a failing experiment (the
+// verify self-check renders its FAIL rows before erroring out).
+func run(ctx context.Context, w io.Writer, exp string) error {
+	results, err := newEngine().Run(ctx, exp)
+	for _, r := range results {
+		for _, t := range r.Tables {
+			render(w, t)
 		}
-		row, err := sim.RunFigure11(f, p, accessCfg())
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload, row.RefMisses,
-			fmt.Sprintf("%.2f", row.AvgLines["linear"]),
-			fmt.Sprintf("%.2f", row.AvgLines["forward-mapped"]),
-			fmt.Sprintf("%.2f", row.AvgLines["hashed"]),
-			fmt.Sprintf("%.2f", row.AvgLines["clustered"]))
-	}
-	render(t)
-	return nil
-}
-
-func table2() error {
-	rows, err := sim.Figure9(trace.Profiles())
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 2 cross-check: analytic model vs built tables (PTE bytes)",
-		"workload", "hashed built", "hashed model", "clustered built", "clustered model", "linear built", "linear model")
-	profiles := trace.Profiles()
-	for i, r := range rows {
-		p := profiles[i]
-		var lm uint64
-		for _, s := range p.Snapshot() {
-			lm += sim.AnalyticLinearBytes(s.AllPages(), 6)
-		}
-		t.Row(r.Workload,
-			r.Bytes["hashed"], sim.AnalyticHashedBytes(sim.NactiveProfile(p, 1)),
-			r.Bytes["clustered"], sim.AnalyticClusteredBytes(sim.NactiveProfile(p, 16), 16),
-			r.Bytes["linear-6level"], lm)
-	}
-	render(t)
-	return nil
-}
-
-func lines() error {
-	t := report.NewTable("§6.3 cache-line-size sensitivity: clustered PTE (factor 16) line crossings",
-		"line size", "avg lines/lookup", "extra vs 1.0", "paper")
-	paper := map[int]string{256: "+0.000", 128: "+0.125", 64: "+0.625"}
-	for _, r := range sim.LineSizeSweep([]int{256, 128, 64}, 16) {
-		t.Row(r.LineSize,
-			fmt.Sprintf("%.3f", r.AvgLines),
-			fmt.Sprintf("+%.3f", r.ExtraVsOneLine),
-			paper[r.LineSize])
-	}
-	render(t)
-	return nil
-}
-
-func sweeps() error {
-	gcc, _ := trace.ProfileByName("gcc")
-	subRows, err := sim.SubblockSweep(gcc, []int{4, 8, 16, 32})
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("§3/§6.3 subblock-factor space/time tradeoff (gcc)",
-		"factor", "PTE bytes", "vs hashed", "extra lines (256B)")
-	for _, r := range subRows {
-		t.Row(r.Factor, r.PTEBytes, norm(r.NormalizedSize), fmt.Sprintf("+%.3f", r.ExtraLines))
-	}
-	render(t)
-
-	ml, _ := trace.ProfileByName("ML")
-	lfRows, err := sim.LoadFactorSweep(ml, []int{64, 256, 1024, 4096})
-	if err != nil {
-		return err
-	}
-	t = report.NewTable("§7 load-factor sweep (ML, clustered): measured chain search vs Knuth 1+α/2",
-		"buckets", "alpha", "measured nodes", "1+alpha/2")
-	for _, r := range lfRows {
-		t.Row(r.Buckets, fmt.Sprintf("%.3f", r.Alpha),
-			fmt.Sprintf("%.3f", r.Measured), fmt.Sprintf("%.3f", r.Knuth))
-	}
-	render(t)
-
-	t = report.NewTable("§6.3 multiple-page-table probe order (partial-subblock TLB)",
-		"workload", "4KB-first lines", "64KB-first lines")
-	for _, name := range []string{"coral", "fftpde", "gcc"} {
-		p, _ := trace.ProfileByName(name)
-		row, err := sim.SearchOrderSweep(p, accessCfg())
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload,
-			fmt.Sprintf("%.2f", row.BaseFirstLines),
-			fmt.Sprintf("%.2f", row.SuperFirstLines))
-	}
-	render(t)
-
-	t = report.NewTable("§2 guarded page tables: path-compressed forward-mapped walks (avg lines per lookup)",
-		"workload", "fixed 7-level", "guarded", "guarded max depth", "hashed")
-	for _, name := range []string{"gcc", "compress", "ML"} {
-		p, _ := trace.ProfileByName(name)
-		row, err := sim.GuardedSweep(p)
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload,
-			fmt.Sprintf("%.2f", row.FixedLines),
-			fmt.Sprintf("%.2f", row.GuardedLines),
-			row.GuardedMax,
-			fmt.Sprintf("%.2f", row.HashedLines))
-	}
-	render(t)
-
-	t = report.NewTable("§4.2 superpage PTE storage in hash-based tables (superpage TLB, lines/miss)",
-		"workload", "multi-table (4KB first)", "superpage-index", "sp-index max chain", "clustered")
-	for _, name := range []string{"coral", "pthor", "gcc"} {
-		p, _ := trace.ProfileByName(name)
-		row, err := sim.SPIndexSweep(p, accessCfg())
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload,
-			fmt.Sprintf("%.2f", row.MultiLines),
-			fmt.Sprintf("%.2f", row.SPIndexLines),
-			row.SPIndexMaxChain,
-			fmt.Sprintf("%.2f", row.ClusteredLines))
-	}
-	render(t)
-
-	t = report.NewTable("§7 packed 16-byte hashed PTEs (−33% size, unchanged lines/miss)",
-		"workload", "plain bytes", "packed bytes", "ratio")
-	for _, name := range []string{"coral", "ML", "gcc"} {
-		p, _ := trace.ProfileByName(name)
-		row, err := sim.PackedSweep(p)
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload, row.PlainBytes, row.PackedBytes,
-			fmt.Sprintf("%.3f", float64(row.PackedBytes)/float64(row.PlainBytes)))
-	}
-	render(t)
-	return nil
-}
-
-func residency() error {
-	t := report.NewTable("§6.1 ablation: page-table lines touched vs actually missing in a 128KB L2 (single-page-size TLB)",
-		"workload", "hashed touched", "hashed missed", "clustered touched", "clustered missed", "linear missed")
-	for _, name := range []string{"coral", "ML", "pthor"} {
-		p, _ := trace.ProfileByName(name)
-		row, err := sim.RunResidency(p, sim.ResidencyConfig{Refs: *refsFlag / 2, CacheBytes: 128 << 10, Seed: *seedFlag})
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload,
-			fmt.Sprintf("%.2f", row.TouchedPerMiss["hashed"]),
-			fmt.Sprintf("%.2f", row.MissedPerMiss["hashed"]),
-			fmt.Sprintf("%.2f", row.TouchedPerMiss["clustered"]),
-			fmt.Sprintf("%.2f", row.MissedPerMiss["clustered"]),
-			fmt.Sprintf("%.2f", row.MissedPerMiss["linear"]))
-	}
-	render(t)
-	return nil
-}
-
-func swtlbExp() error {
-	t := report.NewTable("§7 software TLB front-end (4096 entries, 2-way): lines per TLB miss with and without",
-		"workload", "table", "raw lines", "swTLB lines", "swTLB hit rate")
-	for _, tbl := range []string{"forward-mapped", "hashed", "clustered"} {
-		for _, name := range []string{"spice", "gcc"} {
-			p, _ := trace.ProfileByName(name)
-			row, err := sim.SwTLBSweep(p, tbl, accessCfg())
-			if err != nil {
-				return err
-			}
-			t.Row(row.Workload, row.Table,
-				fmt.Sprintf("%.2f", row.RawLines),
-				fmt.Sprintf("%.2f", row.SwLines),
-				fmt.Sprintf("%.2f", row.SwHitRate))
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "%s\n\n", n)
 		}
 	}
-	render(t)
-	return nil
+	return err
 }
 
-func multiprog() error {
-	t := report.NewTable("§7 extension: multiprogrammed TLB interference (64-entry single-page-size TLB)",
-		"workload", "quantum", "isolated misses", "shared+ASID", "flush on switch")
-	for _, c := range []struct {
-		name    string
-		quantum int
-	}{
-		{"gcc", 2000}, {"compress", 2000}, {"compress", 50},
-	} {
-		p, _ := trace.ProfileByName(c.name)
-		row, err := sim.RunMultiprogram(p, c.quantum, *refsFlag/2, *seedFlag)
-		if err != nil {
-			return err
-		}
-		t.Row(row.Workload, row.Quantum, row.IsolatedMisses, row.SharedASIDMisses, row.FlushMisses)
+// render writes a table in the selected format.
+func render(w io.Writer, t *report.Table) {
+	if *csvFlag {
+		t.RenderCSV(w)
+		return
 	}
-	render(t)
-	return nil
-}
-
-func verify() error {
-	claims, err := sim.VerifyClaims(*refsFlag / 2)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Reproduction self-check: the paper's headline claims as executable assertions",
-		"claim", "verdict", "measured", "statement")
-	failed := 0
-	for _, c := range claims {
-		verdict := "PASS"
-		if !c.Pass {
-			verdict = "FAIL"
-			failed++
-		}
-		t.Row(c.ID, verdict, c.Detail, c.Text)
-	}
-	render(t)
-	if failed > 0 {
-		return fmt.Errorf("%d of %d claims failed", failed, len(claims))
-	}
-	fmt.Printf("all %d claims reproduced\n\n", len(claims))
-	return nil
-}
-
-func norm(v float64) string {
-	s := fmt.Sprintf("%.3f", v)
-	if v > 5 {
-		s += " (>5)"
-	}
-	return s
+	t.Render(w)
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
 
 // TestRunAllExperiments executes every experiment end to end with short
 // traces — the CLI's smoke test.
@@ -13,14 +18,37 @@ func TestRunAllExperiments(t *testing.T) {
 		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
 		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog", "verify",
 	} {
-		if err := run(exp); err != nil {
+		var buf bytes.Buffer
+		if err := run(context.Background(), &buf, exp); err != nil {
 			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: no output", exp)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope"); err == nil {
-		t.Error("unknown experiment accepted")
+	var buf bytes.Buffer
+	err := run(context.Background(), &buf, "nope")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The error must teach the valid names (derived from the registry).
+	for _, want := range []string{"table1", "fig11d", "verify", "valid"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	list(&buf)
+	out := buf.String()
+	for _, want := range []string{"table1", "fig9", "sweeps", "verify"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
 	}
 }

@@ -1,22 +1,28 @@
 // Command ptsim runs one parameterized simulation: a chosen page table ×
 // TLB organization × workload, reporting miss counts and the average
 // cache lines accessed per TLB miss — a single cell of Figure 11, with
-// every knob exposed.
+// every knob exposed. A workload's processes are themselves independent
+// cells, fanned over the engine's worker pool (-workers) with per-cell
+// derived seeds, so output is identical at any worker count.
 //
 // Usage:
 //
 //	ptsim -w coral -table clustered -tlb single
 //	ptsim -w ML -table hashed -tlb subblock -refs 1000000 -entries 128
-//	ptsim -w gcc -table clustered -tlb psb -line 128 -buckets 1024
+//	ptsim -w gcc -table clustered -tlb psb -line 128 -buckets 1024 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"clusterpt/internal/addr"
 	"clusterpt/internal/core"
+	"clusterpt/internal/engine"
 	"clusterpt/internal/forward"
 	"clusterpt/internal/hashed"
 	"clusterpt/internal/linear"
@@ -37,12 +43,15 @@ var (
 	lineSize  = flag.Int("line", 256, "cache line size")
 	buckets   = flag.Int("buckets", 4096, "hash buckets")
 	sbf       = flag.Int("sbf", 16, "subblock factor")
-	seed      = flag.Uint64("seed", 1, "trace seed")
+	seed      = flag.Uint64("seed", 1, "base trace seed")
+	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent process cells")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "ptsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -86,7 +95,67 @@ func newTable(m memcost.Model) (pagetable.PageTable, error) {
 	return nil, fmt.Errorf("unknown table %q", *tableName)
 }
 
-func run() error {
+// procResult is one process cell's contribution: its summary line plus
+// the counters that fold into the workload totals.
+type procResult struct {
+	info     string
+	lines    uint64
+	misses   uint64
+	accesses uint64
+}
+
+// simProcess drives one process's trace — one cell of the run.
+func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMode,
+	m memcost.Model, cellSeed uint64, workloadName string) (procResult, error) {
+
+	var res procResult
+	pt, err := newTable(m)
+	if err != nil {
+		return res, err
+	}
+	v := sim.TableVariant{Name: *tableName, New: func(memcost.Model) pagetable.PageTable { return pt }}
+	build, err := sim.BuildProcess(v, mode, snap, m)
+	if err != nil {
+		return res, err
+	}
+	t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
+	gen := trace.NewGenerator(snap, cellSeed)
+	for i := 0; i < n; i++ {
+		va := gen.Next()
+		r := t.Access(va)
+		if r.Hit {
+			continue
+		}
+		res.misses++
+		if kind == tlb.CompleteSubblock && !r.SubblockMiss {
+			br, ok := build.Table.(pagetable.BlockReader)
+			if !ok {
+				return res, fmt.Errorf("table %q cannot prefetch blocks", *tableName)
+			}
+			vpbn, _ := addr.BlockSplit(addr.VPNOf(va), 4)
+			es, cost, found := br.LookupBlock(vpbn, 4)
+			if !found {
+				return res, fmt.Errorf("lost block %#x", uint64(vpbn))
+			}
+			res.lines += uint64(cost.Lines)
+			t.InsertBlock(vpbn, es)
+			continue
+		}
+		e, cost, found := build.Table.Lookup(va)
+		if !found {
+			return res, fmt.Errorf("lost %v", va)
+		}
+		res.lines += uint64(cost.Lines)
+		t.Insert(e)
+	}
+	res.accesses = uint64(n)
+	sz := build.Table.Size()
+	res.info = fmt.Sprintf("%s/%s: table=%s PTE bytes=%d nodes=%d mappings=%d",
+		workloadName, snap.Name, build.Table.Name(), sz.PTEBytes, sz.Nodes, sz.Mappings)
+	return res, nil
+}
+
+func run(ctx context.Context) error {
 	p, ok := trace.ProfileByName(*workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", *workload)
@@ -100,59 +169,36 @@ func run() error {
 	}
 	m := memcost.NewModel(*lineSize)
 
-	var totLines, totMisses, totAccesses uint64
+	var cells []engine.Cell[procResult]
 	snaps := p.Snapshot()
 	for pi, snap := range snaps {
 		n := int(float64(*refs) * p.Procs[pi].RefShare)
 		if n == 0 {
 			continue
 		}
-		pt, err := newTable(m)
-		if err != nil {
-			return err
-		}
-		v := sim.TableVariant{Name: *tableName, New: func(memcost.Model) pagetable.PageTable { return pt }}
-		build, err := sim.BuildProcess(v, mode, snap, m)
-		if err != nil {
-			return err
-		}
-		t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
-		gen := trace.NewGenerator(snap, *seed*31+1)
-		for i := 0; i < n; i++ {
-			va := gen.Next()
-			res := t.Access(va)
-			if res.Hit {
-				continue
-			}
-			totMisses++
-			if kind == tlb.CompleteSubblock && !res.SubblockMiss {
-				br, ok := build.Table.(pagetable.BlockReader)
-				if !ok {
-					return fmt.Errorf("table %q cannot prefetch blocks", *tableName)
-				}
-				vpbn, _ := addr.BlockSplit(addr.VPNOf(va), 4)
-				es, cost, found := br.LookupBlock(vpbn, 4)
-				if !found {
-					return fmt.Errorf("lost block %#x", uint64(vpbn))
-				}
-				totLines += uint64(cost.Lines)
-				t.InsertBlock(vpbn, es)
-				continue
-			}
-			e, cost, found := build.Table.Lookup(va)
-			if !found {
-				return fmt.Errorf("lost %v", va)
-			}
-			totLines += uint64(cost.Lines)
-			t.Insert(e)
-		}
-		totAccesses += uint64(n)
-		sz := build.Table.Size()
-		fmt.Printf("%s/%s: table=%s PTE bytes=%d nodes=%d mappings=%d\n",
-			p.Name, snap.Name, build.Table.Name(), sz.PTEBytes, sz.Nodes, sz.Mappings)
+		cells = append(cells, engine.Cell[procResult]{
+			Key: "ptsim/" + p.Name + "/" + snap.Name,
+			Run: func(ctx context.Context, cellSeed uint64) (procResult, error) {
+				return simProcess(snap, n, kind, mode, m, cellSeed, p.Name)
+			},
+		})
 	}
-	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d\n",
-		p.Name, *tableName, *tlbName, *entries, *lineSize)
+
+	eng := engine.New(engine.Options{Refs: *refs, Seed: *seed, Workers: *workers})
+	results, err := engine.FanWith(ctx, eng, "ptsim", cells)
+	if err != nil {
+		return err
+	}
+
+	var totLines, totMisses, totAccesses uint64
+	for _, r := range results {
+		fmt.Println(r.info)
+		totLines += r.lines
+		totMisses += r.misses
+		totAccesses += r.accesses
+	}
+	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d workers=%d\n",
+		p.Name, *tableName, *tlbName, *entries, *lineSize, *workers)
 	fmt.Printf("accesses=%d misses=%d miss-ratio=%.5f\n",
 		totAccesses, totMisses, float64(totMisses)/float64(totAccesses))
 	if totMisses > 0 {

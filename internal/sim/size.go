@@ -19,59 +19,78 @@ type SizeRow struct {
 // across every profile (ten workloads + kernel), normalized to hashed
 // page table size.
 func Figure9(profiles []trace.Profile) ([]SizeRow, error) {
-	m := memcost.NewModel(0)
-	variants := SizeVariants()
 	var rows []SizeRow
 	for _, p := range profiles {
-		row := SizeRow{
-			Workload:   p.Name,
-			Bytes:      map[string]uint64{},
-			Normalized: map[string]float64{},
-		}
-		for _, v := range variants {
-			builds, err := BuildWorkload(v, BaseOnly, p, m)
-			if err != nil {
-				return nil, err
-			}
-			row.Bytes[v.Name] = WorkloadPTEBytes(builds)
-		}
-		hashedBytes := row.Bytes["hashed"]
-		row.HashedKB = float64(hashedBytes) / 1024
-		for name, b := range row.Bytes {
-			row.Normalized[name] = float64(b) / float64(hashedBytes)
+		row, err := Figure9Row(p)
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
+// Figure9Row sizes one workload's tables — one schedulable cell of the
+// Figure 9 experiment.
+func Figure9Row(p trace.Profile) (SizeRow, error) {
+	m := memcost.NewModel(0)
+	row := SizeRow{
+		Workload:   p.Name,
+		Bytes:      map[string]uint64{},
+		Normalized: map[string]float64{},
+	}
+	for _, v := range SizeVariants() {
+		builds, err := BuildWorkload(v, BaseOnly, p, m)
+		if err != nil {
+			return row, err
+		}
+		row.Bytes[v.Name] = WorkloadPTEBytes(builds)
+	}
+	hashedBytes := row.Bytes["hashed"]
+	row.HashedKB = float64(hashedBytes) / 1024
+	for name, b := range row.Bytes {
+		row.Normalized[name] = float64(b) / float64(hashedBytes)
+	}
+	return row, nil
+}
+
 // Figure10 computes relative page-table size for the organizations that
 // beat hashed page tables, including the superpage and partial-subblock
 // variants, normalized to the plain hashed page table.
 func Figure10(profiles []trace.Profile) ([]SizeRow, error) {
-	m := memcost.NewModel(0)
 	var rows []SizeRow
 	for _, p := range profiles {
-		row := SizeRow{
-			Workload:   p.Name,
-			Bytes:      map[string]uint64{},
-			Normalized: map[string]float64{},
-		}
-		hashedBuilds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+		row, err := Figure10Row(p)
 		if err != nil {
 			return nil, err
-		}
-		hashedBytes := WorkloadPTEBytes(hashedBuilds)
-		row.HashedKB = float64(hashedBytes) / 1024
-		for _, v := range Fig10Variants() {
-			builds, err := BuildWorkload(v.TableVariant, v.Mode, p, m)
-			if err != nil {
-				return nil, err
-			}
-			row.Bytes[v.Name] = WorkloadPTEBytes(builds)
-			row.Normalized[v.Name] = float64(row.Bytes[v.Name]) / float64(hashedBytes)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Figure10Row sizes one workload's compact-PTE tables — one schedulable
+// cell of the Figure 10 experiment.
+func Figure10Row(p trace.Profile) (SizeRow, error) {
+	m := memcost.NewModel(0)
+	row := SizeRow{
+		Workload:   p.Name,
+		Bytes:      map[string]uint64{},
+		Normalized: map[string]float64{},
+	}
+	hashedBuilds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+	if err != nil {
+		return row, err
+	}
+	hashedBytes := WorkloadPTEBytes(hashedBuilds)
+	row.HashedKB = float64(hashedBytes) / 1024
+	for _, v := range Fig10Variants() {
+		builds, err := BuildWorkload(v.TableVariant, v.Mode, p, m)
+		if err != nil {
+			return row, err
+		}
+		row.Bytes[v.Name] = WorkloadPTEBytes(builds)
+		row.Normalized[v.Name] = float64(row.Bytes[v.Name]) / float64(hashedBytes)
+	}
+	return row, nil
 }

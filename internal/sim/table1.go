@@ -55,52 +55,62 @@ func (c *Table1Config) fill() {
 // RunTable1 characterizes every traced workload on the base-case TLB and
 // measures its hashed-page-table footprint.
 func RunTable1(profiles []trace.Profile, cfg Table1Config) ([]Table1Row, error) {
-	cfg.fill()
-	m := memcost.NewModel(0)
 	var rows []Table1Row
 	for _, p := range profiles {
-		row := Table1Row{Workload: p.Name, Paper: p.Paper}
-
-		builds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+		row, err := RunTable1Row(p, cfg)
 		if err != nil {
 			return nil, err
-		}
-		row.HashedKB = float64(WorkloadPTEBytes(builds)) / 1024
-
-		if !p.SnapshotOnly {
-			snaps := p.Snapshot()
-			for pi, snap := range snaps {
-				refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
-				if refs == 0 {
-					continue
-				}
-				t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
-				gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-				pt := builds[pi].Table
-				for i := 0; i < refs; i++ {
-					va := gen.Next()
-					if !t.Access(va).Hit {
-						e, _, ok := pt.Lookup(va)
-						if !ok {
-							return nil, fmt.Errorf("sim: %s/%s lost %v", p.Name, snap.Name, va)
-						}
-						t.Insert(e)
-					}
-				}
-				st := t.Stats()
-				// Each trace step stands for Dwell same-page references;
-				// the extra references are guaranteed hits on a
-				// fully-associative TLB, so only the denominator scales.
-				row.Accesses += st.Accesses * p.DwellOrOne()
-				row.Misses += st.Misses
-			}
-			if row.Accesses > 0 {
-				row.MissRatio = float64(row.Misses) / float64(row.Accesses)
-				missCycles := float64(row.Misses) * cfg.MissPenalty
-				row.PctTLBTime = 100 * missCycles / (float64(row.Accesses) + missCycles)
-			}
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// RunTable1Row characterizes a single workload — one schedulable cell of
+// the Table 1 experiment.
+func RunTable1Row(p trace.Profile, cfg Table1Config) (Table1Row, error) {
+	cfg.fill()
+	m := memcost.NewModel(0)
+	row := Table1Row{Workload: p.Name, Paper: p.Paper}
+
+	builds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+	if err != nil {
+		return row, err
+	}
+	row.HashedKB = float64(WorkloadPTEBytes(builds)) / 1024
+
+	if !p.SnapshotOnly {
+		snaps := p.Snapshot()
+		for pi, snap := range snaps {
+			refs := int(float64(cfg.Refs) * p.Procs[pi].RefShare)
+			if refs == 0 {
+				continue
+			}
+			t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
+			gen := trace.NewGenerator(snap, cfg.Seed*31+1)
+			pt := builds[pi].Table
+			for i := 0; i < refs; i++ {
+				va := gen.Next()
+				if !t.Access(va).Hit {
+					e, _, ok := pt.Lookup(va)
+					if !ok {
+						return row, fmt.Errorf("sim: %s/%s lost %v", p.Name, snap.Name, va)
+					}
+					t.Insert(e)
+				}
+			}
+			st := t.Stats()
+			// Each trace step stands for Dwell same-page references;
+			// the extra references are guaranteed hits on a
+			// fully-associative TLB, so only the denominator scales.
+			row.Accesses += st.Accesses * p.DwellOrOne()
+			row.Misses += st.Misses
+		}
+		if row.Accesses > 0 {
+			row.MissRatio = float64(row.Misses) / float64(row.Accesses)
+			missCycles := float64(row.Misses) * cfg.MissPenalty
+			row.PctTLBTime = 100 * missCycles / (float64(row.Accesses) + missCycles)
+		}
+	}
+	return row, nil
 }

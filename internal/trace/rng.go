@@ -59,6 +59,36 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)
 }
 
+// DeriveSeed derives an independent stream seed from a base seed and a
+// cell key, so concurrent experiment cells draw from disjoint
+// pseudo-random streams no matter what order a scheduler runs them in.
+// The key is hashed with FNV-1a and the combination is pushed through
+// the splitmix64 finalizer — the same mixer RNG uses — so related keys
+// ("table1/gcc", "table1/ML") land far apart. The result is a pure
+// function of (base, key): stable across runs, platforms and worker
+// counts. It is never zero, because several simulator configs treat a
+// zero seed as "use the default".
+func DeriveSeed(base uint64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := base ^ h
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = fnvOffset
+	}
+	return z
+}
+
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
