@@ -13,7 +13,11 @@ import (
 	"testing"
 
 	"clusterpt"
+	"clusterpt/internal/core"
 	"clusterpt/internal/engine"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/service"
 	"clusterpt/internal/sim"
 	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
@@ -416,6 +420,82 @@ func BenchmarkSPIndexSweep(b *testing.B) {
 	}
 	b.ReportMetric(row.SPIndexLines, "spindex-lines/miss")
 	b.ReportMetric(row.ClusteredLines, "clustered-lines/miss")
+}
+
+// --- Concurrent service layer: serial vs parallel translation path ---
+
+// buildService wraps a freshly populated organization in the concurrent
+// service layer. 4096 resident pages matches the working set of the
+// serial BenchmarkClusteredLookup above, so the serial/parallel pairs and
+// the raw-table baseline are directly comparable.
+func buildService(b *testing.B, tab pagetable.PageTable) *service.Service {
+	b.Helper()
+	svc := service.MustWrap(tab, service.Config{})
+	if n, err := svc.MapRange(0, 0x4000, 4096, clusterpt.AttrR); err != nil || n != 4096 {
+		b.Fatalf("MapRange = %d, %v", n, err)
+	}
+	return svc
+}
+
+func benchServiceLookupSerial(b *testing.B, svc *service.Service) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := svc.Lookup(clusterpt.VAOf(clusterpt.VPN(i & 4095))); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// benchServiceLookupParallel drives the lock-free lookup fast path from
+// GOMAXPROCS goroutines; per-goroutine strides keep the address streams
+// distinct while staying inside the shared 4096-page working set.
+func benchServiceLookupParallel(b *testing.B, svc *service.Service) {
+	b.Helper()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := svc.Lookup(clusterpt.VAOf(clusterpt.VPN(i * 31 & 4095))); !ok {
+				b.Fatal("miss")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkServiceClusteredLookupSerial(b *testing.B) {
+	benchServiceLookupSerial(b, buildService(b, core.MustNew(core.Config{Buckets: 4096})))
+}
+
+func BenchmarkServiceClusteredLookupParallel(b *testing.B) {
+	benchServiceLookupParallel(b, buildService(b, core.MustNew(core.Config{Buckets: 4096})))
+}
+
+func BenchmarkServiceHashedLookupSerial(b *testing.B) {
+	benchServiceLookupSerial(b, buildService(b, hashed.MustNew(hashed.Config{Buckets: 4096})))
+}
+
+func BenchmarkServiceHashedLookupParallel(b *testing.B) {
+	benchServiceLookupParallel(b, buildService(b, hashed.MustNew(hashed.Config{Buckets: 4096})))
+}
+
+// BenchmarkServiceMapUnmapParallel exercises the striped write path under
+// contention: goroutines map/unmap overlapping pages, so some operations
+// legitimately collide (ErrAlreadyMapped / ErrNotMapped) — the benchmark
+// measures lock throughput, not outcome counts.
+func BenchmarkServiceMapUnmapParallel(b *testing.B) {
+	svc := service.MustWrap(core.MustNew(core.Config{Buckets: 4096}), service.Config{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			vpn := clusterpt.VPN(i & 0xffff)
+			_ = svc.Map(vpn, clusterpt.PPN(i&0xffff), clusterpt.AttrR)
+			_ = svc.Unmap(vpn)
+			i++
+		}
+	})
 }
 
 func BenchmarkVerifyClaims(b *testing.B) {

@@ -17,6 +17,7 @@ func TestRunAllExperiments(t *testing.T) {
 	for _, exp := range []string{
 		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
 		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog", "verify",
+		"concurrent-lookup", "concurrent-mixed",
 	} {
 		var buf bytes.Buffer
 		if err := run(context.Background(), &buf, exp); err != nil {

@@ -1,0 +1,102 @@
+package addr
+
+import "testing"
+
+// FuzzAddrFields checks the algebraic laws of the address-field helpers
+// for arbitrary inputs: splits must invert joins, alignment must be
+// idempotent and order-preserving, and range iteration must partition
+// exactly into blocks. The addr package is the substrate every
+// organization builds on, so a single wrong mask here corrupts all of
+// them at once.
+func FuzzAddrFields(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0x7fff_ffff_f000), uint64(4))
+	f.Add(^uint64(0), uint64(16))
+	f.Add(uint64(1)<<63, uint64(1)<<12)
+	f.Add(uint64(0x1234_5678_9abc_def0), uint64(3))
+	f.Fuzz(func(t *testing.T, rawVA, x uint64) {
+		va := V(rawVA)
+
+		// Page split: VPN and offset reassemble the address exactly.
+		vpn := VPNOf(va)
+		if got := VAOf(vpn) + V(PageOffset(va)); got != va {
+			t.Fatalf("VAOf(VPNOf(%#x)) + offset = %#x", rawVA, uint64(got))
+		}
+		if PageOffset(va) >= BasePageSize {
+			t.Fatalf("offset %#x out of page", PageOffset(va))
+		}
+
+		// Block split/join inverts at every subblock factor a PTE's valid
+		// vector could express (and a few beyond).
+		for logSBF := uint(0); logSBF <= 8; logSBF++ {
+			vpbn, boff := BlockSplit(vpn, logSBF)
+			if boff >= 1<<logSBF {
+				t.Fatalf("logSBF %d: boff %#x out of block", logSBF, boff)
+			}
+			if got := BlockJoin(vpbn, boff, logSBF); got != vpn {
+				t.Fatalf("logSBF %d: join(split(%#x)) = %#x", logSBF, uint64(vpn), uint64(got))
+			}
+			base := BlockBase(vpn, logSBF)
+			if base > vpn || uint64(base)&(1<<logSBF-1) != 0 || vpn-base >= 1<<logSBF {
+				t.Fatalf("logSBF %d: BlockBase(%#x) = %#x", logSBF, uint64(vpn), uint64(base))
+			}
+		}
+
+		// Alignment laws for any power-of-two derived from x.
+		align := uint64(1) << (x % 32)
+		down := AlignDown(va, align)
+		if down > va || !IsAligned(down, align) || uint64(va-down) >= align {
+			t.Fatalf("AlignDown(%#x, %#x) = %#x", rawVA, align, uint64(down))
+		}
+		if up := AlignUp(va, align); uint64(up) != 0 { // 0 signals wraparound at the top
+			if up < va || !IsAligned(up, align) || uint64(up-va) >= align {
+				t.Fatalf("AlignUp(%#x, %#x) = %#x", rawVA, align, uint64(up))
+			}
+		}
+		if IsPow2(x) {
+			if uint64(1)<<Log2(x) != x {
+				t.Fatalf("1<<Log2(%#x) != itself", x)
+			}
+		}
+
+		// SZ field codec covers every architected page size.
+		for _, s := range R4000Sizes {
+			if got := SZDecode(SZEncode(s)); got != s {
+				t.Fatalf("SZDecode(SZEncode(%v)) = %v", s, got)
+			}
+		}
+
+		// Range iteration: Pages visits NumPages VPNs in order, and Blocks
+		// partitions the same set with no overlap and no gaps.
+		n := x%64 + 1
+		start := V(rawVA % (1 << 48)) // keep Start+Len from overflowing
+		r := PageRange(start, n)
+		if r.NumPages() != n {
+			t.Fatalf("PageRange(%#x, %d).NumPages() = %d", uint64(start), n, r.NumPages())
+		}
+		var visited uint64
+		last := VPN(0)
+		r.Pages(func(v VPN) bool {
+			if visited > 0 && v != last+1 {
+				t.Fatalf("Pages skipped from %#x to %#x", uint64(last), uint64(v))
+			}
+			last = v
+			visited++
+			return true
+		})
+		if visited != n {
+			t.Fatalf("Pages visited %d of %d", visited, n)
+		}
+		var blockPages uint64
+		r.Blocks(4, func(vpbn VPBN, lo, hi uint64) bool {
+			if lo > hi || hi >= 16 {
+				t.Fatalf("Blocks(%#x): lo %d hi %d", uint64(vpbn), lo, hi)
+			}
+			blockPages += hi - lo + 1
+			return true
+		})
+		if blockPages != n {
+			t.Fatalf("Blocks covered %d of %d pages", blockPages, n)
+		}
+	})
+}

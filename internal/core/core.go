@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
@@ -94,12 +95,11 @@ type Table struct {
 	logSBF  uint
 	buckets []bucket
 
-	mu       sync.Mutex // guards counters below
-	stats    pagetable.Stats
-	nFull    uint64 // full (complete-subblock) nodes
-	nCompact uint64 // partial-subblock + superpage nodes
-	nSparse  uint64 // single-mapping sparse nodes (SparseNodes mode)
-	nMapped  uint64 // valid base-page translations
+	stats    pagetable.Counters
+	nFull    atomic.Uint64 // full (complete-subblock) nodes
+	nCompact atomic.Uint64 // partial-subblock + superpage nodes
+	nSparse  atomic.Uint64 // single-mapping sparse nodes (SparseNodes mode)
+	nMapped  atomic.Uint64 // valid base-page translations
 }
 
 type bucket struct {
@@ -154,22 +154,19 @@ func (t *Table) bucketFor(vpbn addr.VPBN) *bucket {
 // bucket array is fixed overhead excluded from the Figure 9/10
 // normalization.
 func (t *Table) Size() pagetable.Size {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	nFull, nCompact, nSparse := t.nFull.Load(), t.nCompact.Load(), t.nSparse.Load()
 	return pagetable.Size{
-		PTEBytes: t.nFull*t.fullNodeBytes() +
-			(t.nCompact+t.nSparse)*compactNodeBytes,
+		PTEBytes: nFull*t.fullNodeBytes() +
+			(nCompact+nSparse)*compactNodeBytes,
 		FixedBytes: uint64(t.cfg.Buckets) * 8,
-		Nodes:      t.nFull + t.nCompact + t.nSparse,
-		Mappings:   t.nMapped,
+		Nodes:      nFull + nCompact + nSparse,
+		Mappings:   t.nMapped.Load(),
 	}
 }
 
 // Stats implements pagetable.PageTable.
 func (t *Table) Stats() pagetable.Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return t.stats.Snapshot()
 }
 
 // AuditSize recomputes the size accounting by walking every bucket,

@@ -10,9 +10,7 @@ import (
 )
 
 func (t *Table) noteInsert() {
-	t.mu.Lock()
-	t.stats.Inserts++
-	t.mu.Unlock()
+	t.stats.NoteInsert()
 }
 
 // Map implements pagetable.PageTable: it installs a base-page mapping.

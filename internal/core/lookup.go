@@ -7,23 +7,26 @@ import (
 	"clusterpt/internal/pte"
 )
 
-// account adjusts node and mapping counters.
+// account adjusts node and mapping counters. Deltas are atomic adds
+// (negative deltas wrap through two's complement), so concurrent bucket
+// operations never contend on a shared counter lock.
 func (t *Table) account(dFull, dCompact, dSparse, dMapped int64) {
-	t.mu.Lock()
-	t.nFull = uint64(int64(t.nFull) + dFull)
-	t.nCompact = uint64(int64(t.nCompact) + dCompact)
-	t.nSparse = uint64(int64(t.nSparse) + dSparse)
-	t.nMapped = uint64(int64(t.nMapped) + dMapped)
-	t.mu.Unlock()
+	if dFull != 0 {
+		t.nFull.Add(uint64(dFull))
+	}
+	if dCompact != 0 {
+		t.nCompact.Add(uint64(dCompact))
+	}
+	if dSparse != 0 {
+		t.nSparse.Add(uint64(dSparse))
+	}
+	if dMapped != 0 {
+		t.nMapped.Add(uint64(dMapped))
+	}
 }
 
 func (t *Table) noteLookup(ok bool) {
-	t.mu.Lock()
-	t.stats.Lookups++
-	if !ok {
-		t.stats.LookupFails++
-	}
-	t.mu.Unlock()
+	t.stats.NoteLookup(ok)
 }
 
 // Lookup implements pagetable.PageTable. It mirrors the §5 TLB miss

@@ -9,9 +9,7 @@ import (
 )
 
 func (t *Table) noteRemove() {
-	t.mu.Lock()
-	t.stats.Removes++
-	t.mu.Unlock()
+	t.stats.NoteRemove()
 }
 
 // Unmap implements pagetable.PageTable: it removes the base-page

@@ -29,6 +29,13 @@ type Experiment struct {
 	// Deps names experiments whose results this one cross-references;
 	// under "all" they are ordered (and rendered) first.
 	Deps []string
+	// Timing marks experiments whose rendered output includes wall-clock
+	// measurements (the concurrent-* family). Their bytes legitimately
+	// vary run to run, so the byte-identity determinism checks and the
+	// golden-output test exclude them; everything else the engine
+	// promises — cell order, seed derivation, table structure — still
+	// holds for them.
+	Timing bool
 	// Run produces the experiment's tables. All randomness must flow
 	// through the per-cell seeds Fan hands out, so results are
 	// independent of worker count and scheduling order. Run may return

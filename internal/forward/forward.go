@@ -101,7 +101,7 @@ type Table struct {
 	root       *fnode
 	nodesAtLvl []uint64
 	nMapped    uint64
-	stats      pagetable.Stats
+	stats      pagetable.Counters
 }
 
 // New creates a forward-mapped page table.
@@ -160,12 +160,7 @@ func (t *Table) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
 	t.mu.RLock()
 	e, cost, ok := t.lookupLocked(vpn)
 	t.mu.RUnlock()
-	t.mu.Lock()
-	t.stats.Lookups++
-	if !ok {
-		t.stats.LookupFails++
-	}
-	t.mu.Unlock()
+	t.stats.NoteLookup(ok)
 	return e, cost, ok
 }
 
@@ -267,7 +262,7 @@ func (t *Table) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 		return err
 	}
 	t.nMapped++
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -286,14 +281,21 @@ func (t *Table) Unmap(vpn addr.VPN) error {
 		return fmt.Errorf("%w: vpn %#x", pagetable.ErrNotMapped, uint64(vpn))
 	}
 	if w.Kind() != pte.KindBase {
-		return fmt.Errorf("%w: vpn %#x holds a replicated %v PTE; use UnmapReplicated",
-			pagetable.ErrUnsupported, uint64(vpn), w.Kind())
+		// A base-page unmap of a page covered by a replicated superpage or
+		// partial-subblock PTE demotes the surviving replicas to per-page
+		// base words, then removes just the target — the same semantics the
+		// clustered table gets from its in-place demotion, so every
+		// organization answers Unmap identically behind one interface.
+		// UnmapReplicated remains the cheap whole-object removal.
+		if err := t.demoteReplicasLocked(vpn, w); err != nil {
+			return err
+		}
 	}
 	leaf.entries[s].word = pte.Invalid
 	leaf.count--
 	t.pruneIfEmpty(vpn, path)
 	t.nMapped--
-	t.stats.Removes++
+	t.stats.NoteRemove()
 	return nil
 }
 
@@ -348,9 +350,7 @@ func (t *Table) NodesAtLevels() []uint64 {
 
 // Stats implements pagetable.PageTable.
 func (t *Table) Stats() pagetable.Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.stats
+	return t.stats.Snapshot()
 }
 
 // levelForSize returns the tree level whose per-entry coverage equals the

@@ -129,11 +129,26 @@ func TestReplicatedSuperpage(t *testing.T) {
 	if cost.Lines != 7 {
 		t.Errorf("lines = %d", cost.Lines)
 	}
-	if err := tab.Unmap(0x40); !errors.Is(err, pagetable.ErrUnsupported) {
+	// Base unmap of one replica demotes the rest to base PTEs and removes
+	// just the target page.
+	if err := tab.Unmap(0x40); err != nil {
 		t.Errorf("unmap err = %v", err)
 	}
-	if err := tab.UnmapReplicated(0x42); err != nil {
-		t.Fatal(err)
+	if _, _, ok := tab.Lookup(addr.VAOf(0x40)); ok {
+		t.Error("unmapped page still resolves")
+	}
+	e, _, ok = tab.Lookup(addr.VAOf(0x4f))
+	if !ok || e.Kind != pte.KindBase || e.PPN != 0x10f {
+		t.Fatalf("surviving page after demotion = %v ok=%v", e, ok)
+	}
+	// The demoted sites are base PTEs, so UnmapReplicated refuses them.
+	if err := tab.UnmapReplicated(0x42); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("UnmapReplicated after demotion err = %v", err)
+	}
+	for v := addr.VPN(0x41); v < 0x50; v++ {
+		if err := tab.Unmap(v); err != nil {
+			t.Fatalf("unmap %#x: %v", uint64(v), err)
+		}
 	}
 	if sz := tab.Size(); sz.Mappings != 0 {
 		t.Errorf("size = %+v", sz)

@@ -36,7 +36,7 @@ func (t *Table) MapSuperpage(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, size add
 		}
 	}
 	t.nMapped += pages
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -79,7 +79,7 @@ func (t *Table) MapSuperpageAtNode(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, si
 	ent.word = word
 	nd.count++
 	t.nMapped += pages
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -110,7 +110,7 @@ func (t *Table) UnmapSuperpageAtNode(vpn addr.VPN, size addr.Size) error {
 	nd.count--
 	t.pruneIfEmpty(vpn, path)
 	t.nMapped -= size.Pages()
-	t.stats.Removes++
+	t.stats.NoteRemove()
 	return nil
 }
 
@@ -148,12 +148,63 @@ func (t *Table) MapPartial(vpbn addr.VPBN, basePPN addr.PPN, attr pte.Attr, vali
 		}
 	}
 	t.nMapped += uint64(bits.OnesCount16(valid))
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
 // UnmapReplicated removes every leaf replica of the superpage or
 // partial-subblock PTE covering vpn.
+// demoteReplicasLocked rewrites every replica site of the superpage or
+// partial-subblock word covering vpn as a per-page base word: the site's
+// frame is the object's first frame plus the page offset, and each site
+// keeps its *own* attribute bits (ProtectRange updates replicas
+// individually, so attrs may legitimately diverge across sites). The
+// caller holds t.mu and typically invalidates the target site next.
+// Mapped-page and node counts are unchanged: every valid word stays
+// valid, only its kind narrows.
+func (t *Table) demoteReplicasLocked(vpn addr.VPN, w pte.Word) error {
+	var sites []addr.VPN
+	switch w.Kind() {
+	case pte.KindSuperpage:
+		pages := w.Size().Pages()
+		first := vpn &^ addr.VPN(pages-1)
+		for i := uint64(0); i < pages; i++ {
+			sites = append(sites, first+addr.VPN(i))
+		}
+	case pte.KindPartial:
+		first := vpn &^ addr.VPN(1<<t.cfg.LogSBF-1)
+		for boff := uint64(0); boff < uint64(1)<<t.cfg.LogSBF; boff++ {
+			if w.ValidAt(boff) {
+				sites = append(sites, first+addr.VPN(boff))
+			}
+		}
+	default:
+		return fmt.Errorf("%w: vpn %#x holds no replicated PTE", pagetable.ErrUnsupported, uint64(vpn))
+	}
+	for _, v := range sites {
+		p, err := t.walkTo(v, false)
+		if err != nil {
+			return fmt.Errorf("forward: inconsistent replica at vpn %#x: %v", uint64(v), err)
+		}
+		lf := p[len(p)-1]
+		s := t.slot(v, len(p)-1)
+		sw := lf.entries[s].word
+		// Attrs may differ per site; everything else must match.
+		if !sw.Valid() || sw.WithAttr(w.Attr()) != w {
+			return fmt.Errorf("forward: inconsistent replica at vpn %#x", uint64(v))
+		}
+		var ppn addr.PPN
+		switch w.Kind() {
+		case pte.KindSuperpage:
+			ppn = w.PPN() + addr.PPN(uint64(v)&(w.Size().Pages()-1))
+		case pte.KindPartial:
+			ppn = w.PPNAt(uint64(v) & (1<<t.cfg.LogSBF - 1))
+		}
+		lf.entries[s].word = pte.MakeBase(ppn, sw.Attr())
+	}
+	return nil
+}
+
 func (t *Table) UnmapReplicated(vpn addr.VPN) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -197,7 +248,7 @@ func (t *Table) UnmapReplicated(vpn addr.VPN) error {
 		t.pruneIfEmpty(v, p)
 	}
 	t.nMapped -= uint64(len(sites))
-	t.stats.Removes++
+	t.stats.NoteRemove()
 	return nil
 }
 

@@ -12,6 +12,7 @@ package hashed
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
@@ -63,9 +64,8 @@ type Table struct {
 	cfg     Config
 	buckets []bucket
 
-	mu     sync.Mutex
-	stats  pagetable.Stats
-	nNodes uint64
+	stats  pagetable.Counters
+	nNodes atomic.Uint64
 }
 
 type bucket struct {
@@ -127,12 +127,7 @@ func (t *Table) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
 	e, cost, ok := t.lookupLocked(b, vpn)
 	b.mu.RUnlock()
 
-	t.mu.Lock()
-	t.stats.Lookups++
-	if !ok {
-		t.stats.LookupFails++
-	}
-	t.mu.Unlock()
+	t.stats.NoteLookup(ok)
 	return e, cost, ok
 }
 
@@ -172,10 +167,8 @@ func (t *Table) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 	nd := &node{vpn: vpn, word: pte.MakeBase(ppn, attr)}
 	nd.next, b.head = b.head, nd
 
-	t.mu.Lock()
-	t.nNodes++
-	t.stats.Inserts++
-	t.mu.Unlock()
+	t.nNodes.Add(1)
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -187,10 +180,8 @@ func (t *Table) Unmap(vpn addr.VPN) error {
 	for link := &b.head; *link != nil; link = &(*link).next {
 		if nd := *link; nd.vpn == vpn && nd.word.Valid() {
 			*link = nd.next
-			t.mu.Lock()
-			t.nNodes--
-			t.stats.Removes++
-			t.mu.Unlock()
+			t.nNodes.Add(^uint64(0))
+			t.stats.NoteRemove()
 			return nil
 		}
 	}
@@ -222,21 +213,18 @@ func (t *Table) ProtectRange(r addr.Range, set, clear pte.Attr) (pagetable.WalkC
 // Size implements pagetable.PageTable: 24 bytes per PTE (Table 2), 16
 // with the packed optimization; the bucket array is fixed overhead.
 func (t *Table) Size() pagetable.Size {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	n := t.nNodes.Load()
 	return pagetable.Size{
-		PTEBytes:   t.nNodes * t.nodeBytes(),
+		PTEBytes:   n * t.nodeBytes(),
 		FixedBytes: uint64(t.cfg.Buckets) * 8,
-		Nodes:      t.nNodes,
-		Mappings:   t.nNodes,
+		Nodes:      n,
+		Mappings:   n,
 	}
 }
 
 // Stats implements pagetable.PageTable.
 func (t *Table) Stats() pagetable.Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return t.stats.Snapshot()
 }
 
 // ChainStats reports the load factor α = PTEs/buckets and the longest

@@ -109,7 +109,7 @@ type Table struct {
 	mu    sync.RWMutex
 	leaf  map[uint64]*leafPage // leaf page index (vpn>>9) → page
 	upper []map[uint64]int     // level i≥2: page index → child count
-	stats pagetable.Stats
+	stats pagetable.Counters
 }
 
 // New creates a linear page table.
@@ -169,12 +169,7 @@ func (t *Table) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
 	t.mu.RLock()
 	e, cost, ok := t.lookupLocked(vpn)
 	t.mu.RUnlock()
-	t.mu.Lock()
-	t.stats.Lookups++
-	if !ok {
-		t.stats.LookupFails++
-	}
-	t.mu.Unlock()
+	t.stats.NoteLookup(ok)
 	return e, cost, ok
 }
 
@@ -269,7 +264,7 @@ func (t *Table) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 		t.cleanupIfEmpty(vpn)
 		return err
 	}
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -290,15 +285,20 @@ func (t *Table) Unmap(vpn addr.VPN) error {
 	}
 	w := pg.words[slot]
 	if w.Kind() != pte.KindBase {
-		return fmt.Errorf("%w: vpn %#x holds a replicated %v PTE; use UnmapReplicated",
-			pagetable.ErrUnsupported, uint64(vpn), w.Kind())
+		// Demote the replicas to per-page base words, then remove just the
+		// target page — same observable semantics as the clustered table's
+		// in-place demotion. UnmapReplicated remains the cheap whole-object
+		// removal.
+		if err := t.demoteReplicasLocked(vpn, w); err != nil {
+			return err
+		}
 	}
 	pg.words[slot] = pte.Invalid
 	pg.count--
 	if pg.count == 0 {
 		t.releaseLeaf(vpn)
 	}
-	t.stats.Removes++
+	t.stats.NoteRemove()
 	return nil
 }
 
@@ -363,9 +363,7 @@ func (t *Table) LevelPages() []int {
 
 // Stats implements pagetable.PageTable.
 func (t *Table) Stats() pagetable.Stats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.stats
+	return t.stats.Snapshot()
 }
 
 var (

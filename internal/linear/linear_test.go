@@ -186,12 +186,30 @@ func TestReplicatedSuperpage(t *testing.T) {
 	if sz := tab.Size(); sz.Mappings != 16 {
 		t.Errorf("mappings = %d", sz.Mappings)
 	}
-	// Base unmap of a replica is refused; UnmapReplicated removes all.
-	if err := tab.Unmap(0x41); !errors.Is(err, pagetable.ErrUnsupported) {
+	// Base unmap of one replica demotes the rest to base PTEs and removes
+	// just the target page.
+	if err := tab.Unmap(0x41); err != nil {
 		t.Errorf("unmap err = %v", err)
 	}
-	if err := tab.UnmapReplicated(0x4b); err != nil {
-		t.Fatal(err)
+	if _, _, ok := tab.Lookup(addr.VAOf(0x41)); ok {
+		t.Error("unmapped page still resolves")
+	}
+	e, _, ok = tab.Lookup(addr.VAOf(0x4b))
+	if !ok || e.Kind != pte.KindBase || e.PPN != 0x10b {
+		t.Fatalf("surviving page after demotion = %v ok=%v", e, ok)
+	}
+	// The demoted sites are base PTEs now, so UnmapReplicated refuses and
+	// base Unmap finishes the teardown.
+	if err := tab.UnmapReplicated(0x4b); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("UnmapReplicated after demotion err = %v", err)
+	}
+	for v := addr.VPN(0x40); v < 0x50; v++ {
+		if v == 0x41 {
+			continue
+		}
+		if err := tab.Unmap(v); err != nil {
+			t.Fatalf("unmap %#x: %v", uint64(v), err)
+		}
 	}
 	if sz := tab.Size(); sz.Mappings != 0 || sz.Nodes != 0 {
 		t.Errorf("size = %+v", sz)

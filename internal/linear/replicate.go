@@ -41,7 +41,7 @@ func (t *Table) MapSuperpage(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, size add
 			panic("linear: replicate superpage conflict after validation")
 		}
 	}
-	t.stats.Inserts++
+	t.stats.NoteInsert()
 	return nil
 }
 
@@ -80,7 +80,57 @@ func (t *Table) MapPartial(vpbn addr.VPBN, basePPN addr.PPN, attr pte.Attr, vali
 			panic("linear: replicate psb conflict after validation")
 		}
 	}
-	t.stats.Inserts++
+	t.stats.NoteInsert()
+	return nil
+}
+
+// demoteReplicasLocked rewrites every replica site of the superpage or
+// partial-subblock word covering vpn as a per-page base word: the site's
+// frame is the object's first frame plus the page offset, and each site
+// keeps its *own* attribute bits (ProtectRange updates replicas
+// individually, so attrs may legitimately diverge across sites). The
+// caller holds t.mu and typically invalidates the target site next.
+// Leaf valid counts are unchanged: every valid word stays valid, only
+// its kind narrows.
+func (t *Table) demoteReplicasLocked(vpn addr.VPN, w pte.Word) error {
+	var sites []addr.VPN
+	switch w.Kind() {
+	case pte.KindSuperpage:
+		pages := w.Size().Pages()
+		first := vpn &^ addr.VPN(pages-1)
+		for i := uint64(0); i < pages; i++ {
+			sites = append(sites, first+addr.VPN(i))
+		}
+	case pte.KindPartial:
+		first := vpn &^ addr.VPN(1<<t.cfg.LogSBF-1)
+		for boff := uint64(0); boff < uint64(1)<<t.cfg.LogSBF; boff++ {
+			if w.ValidAt(boff) {
+				sites = append(sites, first+addr.VPN(boff))
+			}
+		}
+	default:
+		return fmt.Errorf("%w: vpn %#x holds no replicated PTE", pagetable.ErrUnsupported, uint64(vpn))
+	}
+	for _, v := range sites {
+		p, ok := t.leaf[LeafPageIndex(v)]
+		slot := uint64(v) & (entriesPerPage - 1)
+		if !ok {
+			return fmt.Errorf("linear: inconsistent replica at vpn %#x", uint64(v))
+		}
+		sw := p.words[slot]
+		// Attrs may differ per site; everything else must match.
+		if !sw.Valid() || sw.WithAttr(w.Attr()) != w {
+			return fmt.Errorf("linear: inconsistent replica at vpn %#x", uint64(v))
+		}
+		var ppn addr.PPN
+		switch w.Kind() {
+		case pte.KindSuperpage:
+			ppn = w.PPN() + addr.PPN(uint64(v)&(w.Size().Pages()-1))
+		case pte.KindPartial:
+			ppn = w.PPNAt(uint64(v) & (1<<t.cfg.LogSBF - 1))
+		}
+		p.words[slot] = pte.MakeBase(ppn, sw.Attr())
+	}
 	return nil
 }
 
@@ -131,7 +181,7 @@ func (t *Table) UnmapReplicated(vpn addr.VPN) error {
 		}
 	}
 	_ = removed
-	t.stats.Removes++
+	t.stats.NoteRemove()
 	return nil
 }
 

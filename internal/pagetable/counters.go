@@ -1,0 +1,47 @@
+package pagetable
+
+import "sync/atomic"
+
+// Counters is the lock-free operation-count instrumentation shared by the
+// page-table organizations. The original implementations guarded a Stats
+// struct with the table mutex, which serialized every lookup on a single
+// cache line even when the walk itself only touched a per-bucket lock;
+// under the concurrent service layer (internal/service) that mutex, not
+// the page table, became the bottleneck. Counters keeps the Stats()
+// interface unchanged while making the hot-path increments plain atomic
+// adds.
+//
+// The zero value is ready to use. Snapshot is not a consistent cut across
+// fields — a concurrent lookup may be counted in Lookups before its
+// failure lands in LookupFails — which is fine for reporting; tests read
+// counters only at quiescence.
+type Counters struct {
+	lookups     atomic.Uint64
+	lookupFails atomic.Uint64
+	inserts     atomic.Uint64
+	removes     atomic.Uint64
+}
+
+// NoteLookup counts one lookup and, when it missed, one failure.
+func (c *Counters) NoteLookup(ok bool) {
+	c.lookups.Add(1)
+	if !ok {
+		c.lookupFails.Add(1)
+	}
+}
+
+// NoteInsert counts one successful map operation.
+func (c *Counters) NoteInsert() { c.inserts.Add(1) }
+
+// NoteRemove counts one successful unmap operation.
+func (c *Counters) NoteRemove() { c.removes.Add(1) }
+
+// Snapshot materializes the counters as a Stats value.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Lookups:     c.lookups.Load(),
+		LookupFails: c.lookupFails.Load(),
+		Inserts:     c.inserts.Load(),
+		Removes:     c.removes.Load(),
+	}
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+	"clusterpt/internal/trace"
+)
+
+// The differential-testing oracle: every organization wrapped by the
+// service layer, driven with one randomized op sequence per seed, must
+// agree at every lookup with a plain map[vpn]→(ppn, attr) reference
+// model. The model is the specification; the four page-table
+// organizations — clustered, hashed, forward-mapped, linear — are four
+// independent implementations of it, and the service's translation cache
+// sits in the comparison loop, so a single stale cache entry, a wrong
+// demotion, or a divergent error also fails here.
+//
+// The comparison is translation coherence: (mapped?, PPN, Attr). Entry
+// Kind/Size legitimately differ across organizations (a clustered table
+// answers a superpage-covered page with Kind=superpage, a linear table
+// with a base PTE), so they are not compared.
+
+// refEntry is the reference model's value for one mapped page.
+type refEntry struct {
+	ppn  addr.PPN
+	attr pte.Attr
+}
+
+// oracleTables builds one fresh service per organization. Small bucket
+// counts raise chain collision rates; a small cache forces evictions so
+// refills are exercised, not just first fills.
+func oracleTables(t *testing.T) []*Service {
+	t.Helper()
+	cfg := Config{Stripes: 32, CacheSlots: 256}
+	return []*Service{
+		MustWrap(core.MustNew(core.Config{Buckets: 512}), cfg),
+		MustWrap(core.MustNew(core.Config{Buckets: 128, SubblockFactor: 16, SparseNodes: true}), cfg),
+		MustWrap(hashed.MustNew(hashed.Config{Buckets: 512}), cfg),
+		MustWrap(forward.MustNew(forward.Config{}), cfg),
+		MustWrap(linear.MustNew(linear.Config{}), cfg),
+	}
+}
+
+// checkLookup compares every service's answer for vpn against the model.
+func checkLookup(t *testing.T, svcs []*Service, model map[addr.VPN]refEntry, vpn addr.VPN, ctx string) {
+	t.Helper()
+	want, mapped := model[vpn]
+	va := addr.VAOf(vpn)
+	for _, s := range svcs {
+		e, ok := s.Lookup(va)
+		if ok != mapped {
+			t.Fatalf("%s: %s: lookup %#x mapped=%v, model says %v", ctx, s.Name(), uint64(vpn), ok, mapped)
+		}
+		if !mapped {
+			continue
+		}
+		if e.PPN != want.ppn || e.Attr != want.attr {
+			t.Fatalf("%s: %s: lookup %#x = (ppn %#x, %v), model (ppn %#x, %v)",
+				ctx, s.Name(), uint64(vpn), uint64(e.PPN), e.Attr, uint64(want.ppn), want.attr)
+		}
+	}
+}
+
+// superpagePhase installs 64KB mappings before concurrent-surface traffic
+// begins: organizations that can store a superpage PTE use it, the rest
+// expand to sixteen base PTEs. Either representation must be
+// indistinguishable through Lookup — that equivalence is what the paper's
+// §5 compact formats promise.
+func superpagePhase(t *testing.T, svcs []*Service, model map[addr.VPN]refEntry, pages []addr.VPN) {
+	t.Helper()
+	const spPages = 16 // 64KB / 4KB, one page block at the default factor
+	seen := map[addr.VPN]bool{}
+	var blocks []addr.VPN
+	for _, vpn := range pages {
+		base := addr.BlockBase(vpn, 4)
+		if !seen[base] {
+			seen[base] = true
+			blocks = append(blocks, base)
+		}
+		if len(blocks) == 8 {
+			break
+		}
+	}
+	for i, base := range blocks {
+		ppn := addr.PPN(0x800000 + i*spPages) // 64KB-aligned frames
+		attr := pte.AttrR | pte.AttrX
+		for _, s := range svcs {
+			if sp, ok := s.Table().(pagetable.SuperpageMapper); ok {
+				if err := sp.MapSuperpage(base, ppn, attr, addr.Size64K); err != nil {
+					t.Fatalf("%s: MapSuperpage(%#x): %v", s.Name(), uint64(base), err)
+				}
+				continue
+			}
+			for off := addr.VPN(0); off < spPages; off++ {
+				if err := s.Map(base+off, ppn+addr.PPN(off), attr); err != nil {
+					t.Fatalf("%s: expanding superpage page %d: %v", s.Name(), off, err)
+				}
+			}
+		}
+		for off := addr.VPN(0); off < spPages; off++ {
+			model[base+off] = refEntry{ppn: ppn + addr.PPN(off), attr: attr}
+		}
+	}
+}
+
+func runOracle(t *testing.T, seed uint64, steps int) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	snap := p.Snapshot()[0]
+	svcs := oracleTables(t)
+	model := map[addr.VPN]refEntry{}
+
+	superpagePhase(t, svcs, model, snap.AllPages())
+
+	stream := trace.NewOpStream(snap, seed, trace.WriteHeavyMix)
+	sweep := trace.NewRNG(seed ^ 0x5EED)
+	pages := snap.AllPages()
+
+	for step := 0; step < steps; step++ {
+		op := stream.Next()
+		ctx := fmt.Sprintf("seed %#x step %d (%v %#x)", seed, step, op.Kind, uint64(op.VPN))
+		switch op.Kind {
+		case trace.OpLookup:
+			checkLookup(t, svcs, model, op.VPN, ctx)
+
+		case trace.OpMap:
+			_, exists := model[op.VPN]
+			for _, s := range svcs {
+				err := s.Map(op.VPN, op.PPN, op.Attr)
+				if exists && !errors.Is(err, pagetable.ErrAlreadyMapped) {
+					t.Fatalf("%s: %s: double map error = %v", ctx, s.Name(), err)
+				}
+				if !exists && err != nil {
+					t.Fatalf("%s: %s: map failed: %v", ctx, s.Name(), err)
+				}
+			}
+			if !exists {
+				model[op.VPN] = refEntry{ppn: op.PPN, attr: op.Attr}
+			}
+
+		case trace.OpUnmap:
+			_, exists := model[op.VPN]
+			for _, s := range svcs {
+				err := s.Unmap(op.VPN)
+				if exists && err != nil {
+					t.Fatalf("%s: %s: unmap failed: %v", ctx, s.Name(), err)
+				}
+				if !exists && !errors.Is(err, pagetable.ErrNotMapped) {
+					t.Fatalf("%s: %s: unmap of unmapped error = %v", ctx, s.Name(), err)
+				}
+			}
+			delete(model, op.VPN)
+
+		case trace.OpProtect:
+			r := op.Range()
+			for _, s := range svcs {
+				if err := s.Protect(r, op.Set, op.Clear); err != nil {
+					t.Fatalf("%s: %s: protect: %v", ctx, s.Name(), err)
+				}
+			}
+			r.Pages(func(vpn addr.VPN) bool {
+				if e, ok := model[vpn]; ok {
+					e.attr = e.attr&^op.Clear | op.Set
+					model[vpn] = e
+				}
+				return true
+			})
+		}
+
+		// Periodic sweep: sample mapped and unmapped pages alike, so
+		// divergence surfaces within a few hundred steps of the buggy op.
+		if step%512 == 511 {
+			for i := 0; i < 64; i++ {
+				checkLookup(t, svcs, model, pages[sweep.Intn(len(pages))],
+					fmt.Sprintf("seed %#x sweep@%d", seed, step))
+			}
+		}
+	}
+
+	// Final full agreement pass over every page the stream could touch.
+	for _, vpn := range pages {
+		checkLookup(t, svcs, model, vpn, fmt.Sprintf("seed %#x final", seed))
+	}
+
+	// Incremental size accounting must match a ground-truth walk.
+	for _, s := range svcs {
+		if a, ok := s.Table().(interface{ AuditSize() pagetable.Size }); ok {
+			if got, want := s.Table().Size(), a.AuditSize(); got != want {
+				t.Errorf("seed %#x: %s: Size %+v disagrees with AuditSize %+v", seed, s.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialOracle runs the oracle once per seed as a table-driven
+// test, so a failure names the seed that reproduces it.
+func TestDifferentialOracle(t *testing.T) {
+	steps := 6000
+	if testing.Short() {
+		steps = 1500
+	}
+	for _, seed := range []uint64{1, 2, 3, 0xC0FFEE, 0xFEEDFACE} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			t.Parallel()
+			runOracle(t, seed, steps)
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// Package service is the concurrent page-table service layer: it wraps
+// any pagetable.PageTable organization behind one thread-safe surface
+// tuned for mixed traffic from many goroutines.
+//
+// The design splits the two paths the way an OS splits the TLB miss
+// handler from the mapping system calls (§3.1 of the paper):
+//
+//   - Lookup takes a lock-free fast path through a fixed-size translation
+//     cache of atomic pointers — a software TLB in front of the wrapped
+//     table. A hit costs one hash, one atomic load and one tag compare;
+//     no lock, no shared-cache-line write.
+//   - Map, Unmap, MapRange and Protect serialize per page block on a
+//     striped readers-writer lock. Writers mutate the wrapped table and
+//     invalidate the affected cache slots while holding the stripe
+//     exclusively; lookup slow paths fill the cache under the stripe's
+//     read lock. Because a translation's fill and its invalidation hash
+//     to the same stripe, a fill can never resurrect an entry a
+//     concurrent writer just killed — the coherence argument DESIGN.md §6
+//     spells out.
+//
+// The cache guarantees translation coherence: a cached entry always
+// returns the PPN and attribute bits the wrapped table would return for
+// that VPN. It does not guarantee format coherence — after a superpage is
+// demoted page by page, a cached entry may still carry the old Kind/Size
+// until evicted — matching real TLBs, which shoot down translations, not
+// PTE formats.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+// Defaults chosen for serving-sized tables: 128 stripes keeps writer
+// collision probability low at dozens of writer goroutines; 4096 cache
+// slots matches the software-TLB sizing of §7.
+const (
+	DefaultStripes    = 128
+	DefaultCacheSlots = 4096
+	// DefaultLogBlock is the write-lock granularity in pages (log2): 16
+	// pages, the paper's base-case subblock factor, so one stripe
+	// acquisition covers one clustered page block.
+	DefaultLogBlock = 4
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Stripes is the write-lock stripe count, a power of two.
+	Stripes int
+	// CacheSlots is the lookup-cache size, a power of two.
+	CacheSlots int
+	// LogBlock is log2 of the pages covered by one stripe acquisition.
+	LogBlock uint
+}
+
+func (c *Config) fill() error {
+	if c.Stripes == 0 {
+		c.Stripes = DefaultStripes
+	}
+	if c.CacheSlots == 0 {
+		c.CacheSlots = DefaultCacheSlots
+	}
+	if c.LogBlock == 0 {
+		c.LogBlock = DefaultLogBlock
+	}
+	if !addr.IsPow2(uint64(c.Stripes)) {
+		return fmt.Errorf("service: stripe count %d not a power of two", c.Stripes)
+	}
+	if !addr.IsPow2(uint64(c.CacheSlots)) {
+		return fmt.Errorf("service: cache slot count %d not a power of two", c.CacheSlots)
+	}
+	if c.LogBlock > 12 {
+		return fmt.Errorf("service: lock block of 1<<%d pages is unreasonably coarse", c.LogBlock)
+	}
+	return nil
+}
+
+// PageTable is the service surface: the base-page operation set of
+// pagetable.PageTable re-shaped for concurrent callers — no walk costs
+// (those are simulation instrumentation), plus the batched region map.
+type PageTable interface {
+	// Name identifies the wrapped organization.
+	Name() string
+	// Lookup resolves va. ok is false on a page fault.
+	Lookup(va addr.V) (e pte.Entry, ok bool)
+	// Map installs one base-page translation.
+	Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error
+	// MapRange installs n consecutive base pages vpn+i → ppn+i with one
+	// lock acquisition per page block (a region-fault batch). It returns
+	// the number of pages mapped; on error the earlier pages stay mapped.
+	MapRange(vpn addr.VPN, ppn addr.PPN, n uint64, attr pte.Attr) (int, error)
+	// Unmap removes the translation covering vpn.
+	Unmap(vpn addr.VPN) error
+	// Protect applies attribute bits to every mapping in r.
+	Protect(r addr.Range, set, clear pte.Attr) error
+	// Stats reports service-level operation counts.
+	Stats() Stats
+}
+
+// Stats counts service operations. Hits+Fills+Faults is the total lookup
+// count; Hits/(Hits+Fills+Faults) is the fast-path rate.
+type Stats struct {
+	// Hits are lookups served lock-free from the translation cache.
+	Hits uint64
+	// Fills are lookups that walked the wrapped table and cached the
+	// result.
+	Fills uint64
+	// Faults are lookups with no covering mapping.
+	Faults uint64
+	// Maps and Unmaps count successful mutations; MapConflicts and
+	// UnmapMisses count the ErrAlreadyMapped / ErrNotMapped outcomes that
+	// are expected under racing writers.
+	Maps, MapConflicts  uint64
+	Unmaps, UnmapMisses uint64
+	// Protects counts Protect calls.
+	Protects uint64
+}
+
+// Lookups returns the total lookup count.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Fills + s.Faults }
+
+// HitRate returns the fast-path fraction of lookups.
+func (s Stats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// cached is one immutable translation-cache entry, published by pointer.
+type cached struct {
+	vpn addr.VPN
+	e   pte.Entry
+}
+
+// stripe pads each lock to its own cache line so writer stripes do not
+// false-share.
+type stripe struct {
+	mu sync.RWMutex
+	_  [40]byte
+}
+
+// Service wraps one page-table organization. Create with Wrap.
+type Service struct {
+	cfg     Config
+	table   pagetable.PageTable
+	stripes []stripe
+	cache   []atomic.Pointer[cached]
+
+	hits, fills, faults           atomic.Uint64
+	maps, mapConflicts            atomic.Uint64
+	unmaps, unmapMisses, protects atomic.Uint64
+}
+
+// Wrap builds a Service over table; zero config fields take defaults.
+func Wrap(table pagetable.PageTable, cfg Config) (*Service, error) {
+	if table == nil {
+		return nil, fmt.Errorf("service: nil table")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Service{
+		cfg:     cfg,
+		table:   table,
+		stripes: make([]stripe, cfg.Stripes),
+		cache:   make([]atomic.Pointer[cached], cfg.CacheSlots),
+	}, nil
+}
+
+// MustWrap is Wrap for known-good configurations; it panics on error.
+func MustWrap(table pagetable.PageTable, cfg Config) *Service {
+	s, err := Wrap(table, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements PageTable.
+func (s *Service) Name() string { return s.table.Name() }
+
+// Table returns the wrapped organization, for size and walk-cost
+// inspection. Callers must not mutate it directly while the service is
+// in use — direct writes bypass cache invalidation.
+func (s *Service) Table() pagetable.PageTable { return s.table }
+
+// stripeFor returns the lock covering vpn's page block. All pages of one
+// block — and therefore one clustered hash node — share a stripe.
+func (s *Service) stripeFor(vpn addr.VPN) *sync.RWMutex {
+	h := pagetable.HashVPN(uint64(vpn) >> s.cfg.LogBlock)
+	return &s.stripes[h&uint64(s.cfg.Stripes-1)].mu
+}
+
+func (s *Service) slotFor(vpn addr.VPN) *atomic.Pointer[cached] {
+	h := pagetable.HashVPN(uint64(vpn))
+	return &s.cache[h&uint64(s.cfg.CacheSlots-1)]
+}
+
+// Lookup implements PageTable. The fast path is lock-free: one hash, one
+// atomic pointer load, one tag compare. On a cache miss it walks the
+// wrapped table under the stripe's read lock and publishes the result —
+// the fill must complete inside the read-side critical section so a
+// concurrent writer on the same stripe cannot order its invalidation
+// between the walk and the publish.
+func (s *Service) Lookup(va addr.V) (pte.Entry, bool) {
+	vpn := addr.VPNOf(va)
+	slot := s.slotFor(vpn)
+	if c := slot.Load(); c != nil && c.vpn == vpn {
+		s.hits.Add(1)
+		return c.e, true
+	}
+	mu := s.stripeFor(vpn)
+	mu.RLock()
+	e, _, ok := s.table.Lookup(va)
+	if ok {
+		slot.Store(&cached{vpn: vpn, e: e})
+	}
+	mu.RUnlock()
+	if ok {
+		s.fills.Add(1)
+	} else {
+		s.faults.Add(1)
+	}
+	return e, ok
+}
+
+// Map implements PageTable.
+func (s *Service) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
+	mu := s.stripeFor(vpn)
+	mu.Lock()
+	err := s.table.Map(vpn, ppn, attr)
+	s.invalidate(vpn)
+	mu.Unlock()
+	if err != nil {
+		s.mapConflicts.Add(1)
+		return err
+	}
+	s.maps.Add(1)
+	return nil
+}
+
+// MapRange implements PageTable: the batched region-fault path. Pages
+// are installed block by block, one stripe acquisition and one batch of
+// wrapped-table inserts per block, so faulting a region in costs a
+// fraction 1/blockpages of the locking a page-at-a-time loop pays.
+func (s *Service) MapRange(vpn addr.VPN, ppn addr.PPN, n uint64, attr pte.Attr) (int, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	r := addr.PageRange(addr.VAOf(vpn), n)
+	mapped := 0
+	var firstErr error
+	r.Blocks(s.cfg.LogBlock, func(vpbn addr.VPBN, lo, hi uint64) bool {
+		first := addr.BlockJoin(vpbn, lo, s.cfg.LogBlock)
+		mu := s.stripeFor(first)
+		mu.Lock()
+		defer mu.Unlock()
+		for boff := lo; boff <= hi; boff++ {
+			pv := addr.BlockJoin(vpbn, boff, s.cfg.LogBlock)
+			if err := s.table.Map(pv, ppn+addr.PPN(pv-vpn), attr); err != nil {
+				s.mapConflicts.Add(1)
+				firstErr = fmt.Errorf("page %d/%d: %w", mapped, n, err)
+				return false
+			}
+			s.invalidate(pv)
+			mapped++
+		}
+		return true
+	})
+	s.maps.Add(uint64(mapped))
+	return mapped, firstErr
+}
+
+// Unmap implements PageTable.
+func (s *Service) Unmap(vpn addr.VPN) error {
+	mu := s.stripeFor(vpn)
+	mu.Lock()
+	err := s.table.Unmap(vpn)
+	s.invalidate(vpn)
+	mu.Unlock()
+	if err != nil {
+		s.unmapMisses.Add(1)
+		return err
+	}
+	s.unmaps.Add(1)
+	return nil
+}
+
+// Protect implements PageTable. The range is processed one page block at
+// a time: stripe write lock, wrapped-table protect of the block's
+// sub-range, invalidation of the covered cache slots. Organizations
+// whose ProtectRange applies per-page semantics (all four standard ones;
+// clustered demotes partially covered compact PTEs, §3.1) stay coherent
+// because only translations inside the range change.
+func (s *Service) Protect(r addr.Range, set, clear pte.Attr) error {
+	if r.Empty() {
+		return nil
+	}
+	var firstErr error
+	r.Blocks(s.cfg.LogBlock, func(vpbn addr.VPBN, lo, hi uint64) bool {
+		first := addr.BlockJoin(vpbn, lo, s.cfg.LogBlock)
+		sub := addr.PageRange(addr.VAOf(first), hi-lo+1)
+		mu := s.stripeFor(first)
+		mu.Lock()
+		defer mu.Unlock()
+		if _, err := s.table.ProtectRange(sub, set, clear); err != nil {
+			firstErr = err
+			return false
+		}
+		for boff := lo; boff <= hi; boff++ {
+			s.invalidate(addr.BlockJoin(vpbn, boff, s.cfg.LogBlock))
+		}
+		return true
+	})
+	s.protects.Add(1)
+	return firstErr
+}
+
+// invalidate kills the cache slot that may hold vpn. The caller holds
+// vpn's stripe exclusively. The slot may cache a different VPN that
+// merely shares the slot — clearing it costs a future refill, never
+// correctness.
+func (s *Service) invalidate(vpn addr.VPN) {
+	slot := s.slotFor(vpn)
+	if c := slot.Load(); c != nil && c.vpn == vpn {
+		slot.Store(nil)
+	}
+}
+
+// Stats implements PageTable.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Fills:        s.fills.Load(),
+		Faults:       s.faults.Load(),
+		Maps:         s.maps.Load(),
+		MapConflicts: s.mapConflicts.Load(),
+		Unmaps:       s.unmaps.Load(),
+		UnmapMisses:  s.unmapMisses.Load(),
+		Protects:     s.protects.Load(),
+	}
+}
+
+var _ PageTable = (*Service)(nil)

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func newClustered(t *testing.T) *Service {
+	t.Helper()
+	return MustWrap(core.MustNew(core.Config{Buckets: 256}), Config{
+		Stripes: 16, CacheSlots: 64,
+	})
+}
+
+func TestWrapRejectsBadConfig(t *testing.T) {
+	tab := core.MustNew(core.Config{})
+	if _, err := Wrap(nil, Config{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := Wrap(tab, Config{Stripes: 3}); err == nil {
+		t.Error("non-power-of-two stripes accepted")
+	}
+	if _, err := Wrap(tab, Config{CacheSlots: 12}); err == nil {
+		t.Error("non-power-of-two cache accepted")
+	}
+	if _, err := Wrap(tab, Config{LogBlock: 20}); err == nil {
+		t.Error("absurd lock granularity accepted")
+	}
+}
+
+func TestMapLookupUnmap(t *testing.T) {
+	s := newClustered(t)
+	vpn, ppn := addr.VPN(0x41), addr.PPN(0x77)
+	if err := s.Map(vpn, ppn, pte.AttrR|pte.AttrW); err != nil {
+		t.Fatal(err)
+	}
+	va := addr.VAOf(vpn) + 0x34
+	e, ok := s.Lookup(va)
+	if !ok || e.PPN != ppn {
+		t.Fatalf("lookup = %v, %v; want ppn %#x", e, ok, uint64(ppn))
+	}
+	// Second lookup must be a cache hit.
+	if _, ok := s.Lookup(va); !ok {
+		t.Fatal("second lookup missed")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Fills != 1 {
+		t.Errorf("stats = %+v; want 1 hit, 1 fill", st)
+	}
+	if err := s.Map(vpn, ppn, pte.AttrR); !errors.Is(err, pagetable.ErrAlreadyMapped) {
+		t.Errorf("double map error = %v", err)
+	}
+	if err := s.Unmap(vpn); err != nil {
+		t.Fatal(err)
+	}
+	// The cached translation must die with the mapping.
+	if _, ok := s.Lookup(va); ok {
+		t.Fatal("lookup succeeded after unmap — stale cache entry")
+	}
+	if err := s.Unmap(vpn); !errors.Is(err, pagetable.ErrNotMapped) {
+		t.Errorf("double unmap error = %v", err)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	s := newClustered(t)
+	const n = 100 // crosses several 16-page blocks
+	base, frame := addr.VPN(0x1000), addr.PPN(0x2000)
+	mapped, err := s.MapRange(base, frame, n, pte.AttrR)
+	if err != nil || mapped != n {
+		t.Fatalf("MapRange = %d, %v; want %d, nil", mapped, err, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		e, ok := s.Lookup(addr.VAOf(base + addr.VPN(i)))
+		if !ok || e.PPN != frame+addr.PPN(i) {
+			t.Fatalf("page %d: lookup = %v, %v", i, e, ok)
+		}
+	}
+	// A second batch overlapping the first stops at the collision but
+	// keeps the pages mapped before it.
+	mapped, err = s.MapRange(base-2, frame-2, 5, pte.AttrR)
+	if err == nil {
+		t.Fatal("overlapping MapRange succeeded")
+	}
+	if mapped != 2 {
+		t.Fatalf("overlapping MapRange mapped %d pages; want 2", mapped)
+	}
+	if _, ok := s.Lookup(addr.VAOf(base - 1)); !ok {
+		t.Error("page mapped before the collision was lost")
+	}
+	if mapped, err := s.MapRange(base, frame, 0, pte.AttrR); mapped != 0 || err != nil {
+		t.Errorf("empty MapRange = %d, %v", mapped, err)
+	}
+}
+
+func TestProtectInvalidatesCache(t *testing.T) {
+	s := newClustered(t)
+	const n = 40
+	base := addr.VPN(0x500)
+	if _, err := s.MapRange(base, 0x900, n, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache over the whole range.
+	for i := uint64(0); i < n; i++ {
+		if _, ok := s.Lookup(addr.VAOf(base + addr.VPN(i))); !ok {
+			t.Fatalf("page %d missing", i)
+		}
+	}
+	r := addr.PageRange(addr.VAOf(base+10), 15)
+	if err := s.Protect(r, pte.AttrW, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		e, ok := s.Lookup(addr.VAOf(base + addr.VPN(i)))
+		if !ok {
+			t.Fatalf("page %d lost by protect", i)
+		}
+		wantW := i >= 10 && i < 25
+		if e.Attr.Has(pte.AttrW) != wantW {
+			t.Errorf("page %d: attr %v, want W=%v — stale cache after protect", i, e.Attr, wantW)
+		}
+	}
+	if err := s.Protect(addr.Range{}, pte.AttrW, 0); err != nil {
+		t.Errorf("empty protect: %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := newClustered(t)
+	_ = s.Map(1, 1, pte.AttrR)
+	_ = s.Map(1, 1, pte.AttrR) // conflict
+	s.Lookup(addr.VAOf(1))     // fill
+	s.Lookup(addr.VAOf(1))     // hit
+	s.Lookup(addr.VAOf(2))     // fault
+	_ = s.Unmap(1)
+	_ = s.Unmap(1) // miss
+	st := s.Stats()
+	want := Stats{Hits: 1, Fills: 1, Faults: 1, Maps: 1, MapConflicts: 1, Unmaps: 1, UnmapMisses: 1}
+	if st != want {
+		t.Errorf("stats = %+v; want %+v", st, want)
+	}
+	if st.Lookups() != 3 {
+		t.Errorf("Lookups() = %d; want 3", st.Lookups())
+	}
+	if r := st.HitRate(); r < 0.3 || r > 0.4 {
+		t.Errorf("HitRate() = %v; want 1/3", r)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("zero-stats HitRate not 0")
+	}
+}
