@@ -1,0 +1,34 @@
+# One-command verify recipe, locally and in CI. Targets mirror the CI
+# jobs (.github/workflows/ci.yml) so "it passed make" and "it passed CI"
+# mean the same thing.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test lint fuzz-smoke bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# test runs the tier-1 suite under the race detector, exactly as CI does.
+test:
+	$(GO) test -race ./...
+
+# lint is the merge gate: go vet plus the repo's own analyzer suite
+# (cmd/ptlint). ptlint exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ptlint ./...
+
+# fuzz-smoke gives each fuzz target a short random walk on top of the
+# checked-in corpora; FUZZTIME=1m for a deeper local run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAddrFields -fuzztime $(FUZZTIME) ./internal/addr/
+	$(GO) test -run '^$$' -fuzz FuzzPTERoundTrip -fuzztime $(FUZZTIME) ./internal/pte/
+
+# bench runs every benchmark once — a compile-and-smoke pass, not a
+# measurement; use -benchtime with the go tool directly for numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

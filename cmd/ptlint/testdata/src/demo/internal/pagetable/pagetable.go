@@ -1,0 +1,22 @@
+// Package pagetable mirrors the real repo's anchor package so
+// DefaultConfig("demo") resolves the same qualified names.
+package pagetable
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+var ErrNotMapped = errors.New("not mapped")
+
+type Counters struct {
+	Lookups atomic.Uint64
+}
+
+func (c *Counters) NoteLookup()      { c.Lookups.Add(1) }
+func (c *Counters) Snapshot() uint64 { return c.Lookups.Load() }
+
+type PageTable interface {
+	Map(vpn, ppn uint64) error
+	Unmap(vpn uint64) error
+}

@@ -1,0 +1,13 @@
+// Package service mirrors the real service layer for the errdrop
+// package-path rule.
+package service
+
+import "demo/internal/pagetable"
+
+type Service struct {
+	t pagetable.PageTable
+}
+
+func Wrap(t pagetable.PageTable) *Service { return &Service{t: t} }
+
+func (s *Service) Map(vpn, ppn uint64) error { return s.t.Map(vpn, ppn) }

@@ -1,0 +1,14 @@
+// Package trace is deterministic under DefaultConfig: the golden test
+// pins one nodeterminism finding and one suppressed one.
+package trace
+
+import "time"
+
+func Seed() uint64 {
+	return uint64(time.Now().UnixNano()) // the golden finding
+}
+
+func Instrumented() time.Duration {
+	start := time.Now()      //ptlint:allow nodeterminism instrumentation only; suppressed in golden output
+	return time.Since(start) //ptlint:allow nodeterminism instrumentation only; suppressed in golden output
+}

@@ -1,0 +1,29 @@
+// Package use holds one finding for each remaining analyzer so the
+// golden JSON covers the whole suite.
+package use
+
+import (
+	"sync"
+
+	"demo/internal/pagetable"
+	"demo/internal/service"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func LeakLock(g *guarded) {
+	g.mu.Lock() // locksafety finding
+	g.n++
+}
+
+func CopyCounters(c *pagetable.Counters) {
+	snap := *c // atomiccounters finding (and a locksafety copy finding)
+	_ = snap.Snapshot()
+}
+
+func DropError(s *service.Service) {
+	s.Map(1, 2) // errdrop finding
+}

@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"clusterpt/internal/analysis"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	runFixture(t, "det", analysis.NoDeterminism, fixtureConfig("det"))
+}
+
+func TestAtomicCounters(t *testing.T) {
+	runFixture(t, "ctr", analysis.AtomicCounters, fixtureConfig("ctr"))
+}
+
+func TestLockSafety(t *testing.T) {
+	runFixture(t, "locks", analysis.LockSafety, fixtureConfig("locks"))
+}
+
+func TestErrDrop(t *testing.T) {
+	runFixture(t, "errpt", analysis.ErrDrop, fixtureConfig("errpt"))
+}
+
+// TestNoDeterminismScopedToConfiguredPackages pins that the analyzer is
+// silent outside Config.DeterministicPkgs: the same fixture full of
+// violations produces nothing when the config names no packages.
+func TestNoDeterminismScopedToConfiguredPackages(t *testing.T) {
+	mod := loadFixture(t, "det")
+	diags := analysis.Run(mod, []*analysis.Analyzer{analysis.NoDeterminism}, analysis.Config{})
+	if len(diags) != 0 {
+		t.Fatalf("nodeterminism fired outside its configured packages: %v", diags)
+	}
+}
+
+// TestSuppressionRequiresMatchingCheck pins that //ptlint:allow only
+// silences the named check: running errdrop over the det fixture's
+// nodeterminism-allowed lines must not hide an errdrop finding, and
+// vice versa the det fixture's allows must not leak across analyzers.
+func TestSuppressionRequiresMatchingCheck(t *testing.T) {
+	mod := loadFixture(t, "errpt")
+	cfg := fixtureConfig("errpt")
+	// Run the full suite: the errdrop allows in the fixture must not
+	// suppress any locksafety/atomiccounters/nodeterminism findings
+	// (there are none to find), and the errdrop wants must survive.
+	diags := analysis.Run(mod, analysis.Analyzers(), cfg)
+	var errdrops int
+	for _, d := range diags {
+		if d.Check != "errdrop" {
+			t.Errorf("unexpected non-errdrop diagnostic in errpt fixture: %s", d)
+		} else {
+			errdrops++
+		}
+	}
+	wants := scanWants(t, mod.RootDir)
+	if errdrops != len(wants) {
+		t.Errorf("full-suite run found %d errdrop diagnostics, want markers expect %d", errdrops, len(wants))
+	}
+}
+
+// TestDiagnosticString pins the human-readable line format the CI log
+// greps for.
+func TestDiagnosticString(t *testing.T) {
+	mod := loadFixture(t, "det")
+	diags := analysis.Run(mod, []*analysis.Analyzer{analysis.NoDeterminism}, fixtureConfig("det"))
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "det.go:") || !strings.Contains(s, "[nodeterminism]") {
+		t.Errorf("diagnostic line %q missing file anchor or [check] tag", s)
+	}
+}
+
+// TestAnalyzersStable pins the suite's composition: CI and docs name
+// these four checks.
+func TestAnalyzersStable(t *testing.T) {
+	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc line", a.Name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounters guards the lock-free read path of PR 2: operation
+// counts live in pagetable.Counters, whose fields are atomics, and
+// every package except pagetable itself must go through the Note*/
+// Snapshot methods. The analyzer flags, outside the declaring package:
+//
+//  1. direct field access through a Counters value or pointer (the
+//     methods are the only sanctioned access path — a plain load of an
+//     atomic field is a race);
+//  2. copies of a Counters value (assignment, argument, return, range
+//     element, composite-literal field): a copy tears the atomics and
+//     silently forks the counts, so Counters must be shared by
+//     pointer or embedded in place.
+//
+// Declaring a zero-value Counters (var, struct field) is fine; the
+// zero value is ready for use.
+var AtomicCounters = &Analyzer{
+	Name: "atomiccounters",
+	Doc:  "flags direct field access on and value copies of the atomic counters struct outside its package",
+	Run:  runAtomicCounters,
+}
+
+func runAtomicCounters(pass *Pass) {
+	obj := pass.LookupQualified(pass.Config.CountersType)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return // counters type not reachable from this package: nothing to check
+	}
+	if pass.Pkg.Types == tn.Pkg() {
+		return // the declaring package implements the methods; fields are fair game
+	}
+	target := tn.Type()
+
+	isCounters := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return types.Identical(t, target)
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Pkg.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if isCounters(pass.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(), "direct access to field %s of %s: use its atomic methods (NoteLookup/NoteInsert/NoteRemove/Snapshot)",
+						n.Sel.Name, pass.Config.CountersType)
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					reportCountersCopy(pass, rhs, target, "assignment copies")
+				}
+			case *ast.CallExpr:
+				for _, a := range n.Args {
+					reportCountersCopy(pass, a, target, "argument copies")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					reportCountersCopy(pass, r, target, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := rangeVarType(pass, n.Value); t != nil && types.Identical(t, target) {
+						pass.Reportf(n.Value.Pos(), "range element copies %s value: atomics must not be copied; index into the container instead",
+							pass.Config.CountersType)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, e := range n.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					reportCountersCopy(pass, e, target, "composite literal copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportCountersCopy flags e when it reads an existing Counters value
+// (identifier, field, index, or pointer dereference) in a position that
+// copies it. Fresh zero values — composite literals — do not count.
+func reportCountersCopy(pass *Pass, e ast.Expr, target types.Type, how string) {
+	t := pass.TypeOf(e)
+	if t == nil || !types.Identical(t, target) {
+		return
+	}
+	switch stripParens(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		pass.Reportf(e.Pos(), "%s a %s value: the atomic counters must be shared, not duplicated — pass a pointer or call Snapshot()",
+			how, typeString(target))
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func typeString(t types.Type) string {
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON output schema, version 1. Downstream tooling (CI dashboards)
+// may rely on these names; bump Version on any incompatible change.
+//
+//	{
+//	  "version": 1,
+//	  "count": 2,
+//	  "diagnostics": [
+//	    {
+//	      "check":   "nodeterminism",      // analyzer name
+//	      "file":    "internal/sim/x.go",  // module-root-relative, slash-separated
+//	      "line":    42,                   // 1-based
+//	      "column":  7,                    // 1-based, in bytes
+//	      "message": "call to time.Now ..."
+//	    }
+//	  ]
+//	}
+//
+// diagnostics is always present (empty array when clean) and sorted by
+// (file, line, column, check).
+
+// jsonVersion is the current schema version.
+const jsonVersion = 1
+
+type jsonDiagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+type jsonReport struct {
+	Version     int              `json:"version"`
+	Count       int              `json:"count"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders diagnostics in the versioned machine-readable
+// schema above, with a trailing newline.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := jsonReport{
+		Version:     jsonVersion,
+		Count:       len(diags),
+		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
+	}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+			Check:   d.Check,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

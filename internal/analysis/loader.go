@@ -1,0 +1,259 @@
+// Package analysis is the zero-dependency static-analysis framework
+// behind cmd/ptlint. It loads the module's packages with nothing but
+// go/parser and go/types, runs project-specific analyzers over them,
+// honors //ptlint:allow suppression comments, and reports diagnostics
+// with stable file:line positions in text or JSON form.
+//
+// The framework deliberately avoids golang.org/x/tools: the module's
+// zero-dependency guarantee is itself one of the invariants the suite
+// exists to protect, so the loader resolves local packages from the
+// module tree and standard-library packages through go/importer's
+// source importer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test Go files, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's expression and object maps.
+	Info *types.Info
+}
+
+// Module is a loaded module: a shared FileSet plus its packages in
+// dependency order (imports before importers).
+type Module struct {
+	// RootDir is the absolute module root (the go.mod directory).
+	RootDir string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Packages lists the loaded packages in topological order.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				rest = p
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: %s has no module declaration", gomod)
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at (or above) dir. Directories named testdata or vendor,
+// hidden and underscore-prefixed directories, and nested modules are
+// skipped, matching the go tool's ./... semantics.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports []string
+	}
+	raw := map[string]*rawPkg{}
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		var imports []string
+		for _, e := range entries {
+			fn := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(path, fn), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				imports = append(imports, p)
+			}
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		raw[ip] = &rawPkg{path: ip, dir: path, files: files, imports: imports}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically order by local imports so every dependency is
+	// type-checked before its importers.
+	order := make([]string, 0, len(raw))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		deps := append([]string(nil), raw[p].imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, local := raw[d]; local {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	mod := &Module{RootDir: root, Path: modPath, Fset: fset, byPath: map[string]*Package{}}
+	imp := &moduleImporter{
+		mod: mod,
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range order {
+		rp := raw[p]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p, err)
+		}
+		pkg := &Package{Path: p, Dir: rp.dir, Files: rp.files, Types: tpkg, Info: info}
+		mod.Packages = append(mod.Packages, pkg)
+		mod.byPath[p] = pkg
+	}
+	return mod, nil
+}
+
+// moduleImporter serves module-local packages from the already-checked
+// set and everything else (the standard library) from source.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.mod.Path || strings.HasPrefix(path, mi.mod.Path+"/") {
+		if p := mi.mod.Lookup(path); p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("analysis: local package %s not loaded (dependency order bug)", path)
+	}
+	return mi.std.Import(path)
+}

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"clusterpt/internal/analysis"
+)
+
+// TestLoadModuleFixture exercises the zero-dependency loader on a
+// multi-package fixture: module path from go.mod, dependency-ordered
+// packages, and type information rich enough to resolve methods.
+func TestLoadModuleFixture(t *testing.T) {
+	mod := loadFixture(t, "errpt")
+	if mod.Path != "errpt" {
+		t.Fatalf("module path = %q, want errpt", mod.Path)
+	}
+	order := map[string]int{}
+	for i, p := range mod.Packages {
+		order[p.Path] = i
+		if p.Types == nil || p.Info == nil {
+			t.Fatalf("package %s loaded without type information", p.Path)
+		}
+	}
+	for _, want := range []string{"errpt/pt", "errpt/svc", "errpt/use"} {
+		if _, ok := order[want]; !ok {
+			t.Fatalf("package %s not loaded (got %v)", want, order)
+		}
+	}
+	// Imports must be checked before importers.
+	if !(order["errpt/pt"] < order["errpt/svc"] && order["errpt/svc"] < order["errpt/use"]) {
+		t.Errorf("packages not in dependency order: %v", order)
+	}
+	if mod.Lookup("errpt/pt") == nil {
+		t.Error("Lookup(errpt/pt) = nil")
+	}
+	if mod.Lookup("errpt/nonesuch") != nil {
+		t.Error("Lookup of unknown package returned non-nil")
+	}
+}
+
+// TestLoadModuleSelf loads this repository itself — the exact workload
+// cmd/ptlint runs in CI. It proves the loader handles the real module:
+// the root package, nested cmds, and every internal package, without
+// golang.org/x/tools.
+func TestLoadModuleSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading the whole module type-checks the stdlib from source")
+	}
+	mod, err := analysis.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "clusterpt" {
+		t.Fatalf("module path = %q, want clusterpt", mod.Path)
+	}
+	for _, want := range []string{
+		"clusterpt",
+		"clusterpt/cmd/ptlint",
+		"clusterpt/internal/pagetable",
+		"clusterpt/internal/service",
+		"clusterpt/internal/engine",
+	} {
+		if mod.Lookup(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	// Fixture modules under testdata must not leak into the load.
+	for _, p := range mod.Packages {
+		if p.Path == "det" || p.Path == "errpt" {
+			t.Errorf("testdata fixture %s leaked into the module load", p.Path)
+		}
+	}
+}

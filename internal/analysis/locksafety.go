@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockSafety guards the service layer's locking discipline with two
+// checks that go beyond `go vet`'s copylocks:
+//
+//  1. by-value traffic in lock-bearing types — a type that (transitively)
+//     contains a sync.Mutex, sync.RWMutex, other sync state, or a
+//     sync/atomic value type must not be copied. Beyond vet's
+//     assignment/argument coverage, this also flags by-value receiver
+//     and parameter *declarations* (the root cause, not just each call
+//     site), returns, and range-element copies.
+//
+//  2. Lock/Unlock pairing — a (R)Lock call on a sync primitive whose
+//     enclosing function has no matching (R)Unlock at all, or can hit a
+//     return statement between the Lock and the first subsequent
+//     Unlock while holding the lock. A deferred matching Unlock on the
+//     same receiver expression always satisfies the pairing. Receivers
+//     are matched textually, so aliasing a mutex through a local
+//     pointer needs an //ptlint:allow annotation.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "flags copies of lock-bearing values and Lock() calls that can return without the paired Unlock",
+	Run:  runLockSafety,
+}
+
+func runLockSafety(pass *Pass) {
+	lc := &lockCache{seen: map[types.Type]bool{}}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSignature(pass, lc, n.Recv, n.Type)
+				if n.Body != nil {
+					checkLockPairing(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFuncSignature(pass, lc, nil, n.Type)
+				checkLockPairing(pass, n.Body)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					reportLockCopy(pass, lc, rhs, "assignment copies")
+				}
+			case *ast.CallExpr:
+				for _, a := range n.Args {
+					reportLockCopy(pass, lc, a, "argument copies")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					reportLockCopy(pass, lc, r, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := rangeVarType(pass, n.Value); t != nil && lc.containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range element copies lock-bearing %s: iterate by index or store pointers", typeString(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockCache memoizes which types transitively contain a sync primitive
+// or sync/atomic value type by value.
+type lockCache struct {
+	seen map[types.Type]bool
+}
+
+func (lc *lockCache) containsLock(t types.Type) bool {
+	if v, ok := lc.seen[t]; ok {
+		return v
+	}
+	lc.seen[t] = false // break recursion on self-referential types
+	v := lc.compute(t)
+	lc.seen[t] = v
+	return v
+}
+
+func (lc *lockCache) compute(t types.Type) bool {
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch n.Obj().Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				return true // every sync/atomic type is a no-copy value type
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lc.containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lc.containsLock(u.Elem())
+	}
+	return false
+}
+
+// checkFuncSignature flags by-value receiver and parameter declarations
+// of lock-bearing types.
+func checkFuncSignature(pass *Pass, lc *lockCache, recv *ast.FieldList, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lc.containsLock(t) {
+				pass.Reportf(field.Type.Pos(), "by-value %s of lock-bearing %s: every call copies the lock state; use a pointer", what, typeString(t))
+			}
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+}
+
+// reportLockCopy flags e when it reads an existing lock-bearing value
+// in a copying position. Composite literals (fresh values) and pointers
+// are fine.
+func reportLockCopy(pass *Pass, lc *lockCache, e ast.Expr, how string) {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if !lc.containsLock(t) {
+		return
+	}
+	switch stripParens(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		pass.Reportf(e.Pos(), "%s lock-bearing %s by value: share it by pointer", how, typeString(t))
+	}
+}
+
+// lockCall is one (R)Lock or (R)Unlock call on a sync primitive.
+type lockCall struct {
+	recv     string // receiver expression, printed
+	method   string // Lock, RLock, Unlock, RUnlock
+	pos      token.Pos
+	deferred bool
+}
+
+// checkLockPairing analyzes one function body's Lock/Unlock discipline.
+// Nested function literals are skipped here — the AST walk in
+// runLockSafety visits them as their own scopes, which matches how
+// defer and return interact with the enclosing function.
+func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
+	var calls []lockCall
+	var returns []token.Pos
+	deferred := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if c, ok := syncLockCall(pass, n); ok {
+				c.deferred = deferred[n]
+				calls = append(calls, c)
+			}
+		}
+		return true
+	})
+
+	pair := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+	for _, c := range calls {
+		want, isLock := pair[c.method]
+		if !isLock || c.deferred {
+			continue
+		}
+		var deferredUnlock bool
+		first := token.Pos(-1)
+		anyUnlock := false
+		for _, u := range calls {
+			if u.recv != c.recv || u.method != want {
+				continue
+			}
+			anyUnlock = true
+			if u.deferred {
+				deferredUnlock = true
+			} else if u.pos > c.pos && (first < 0 || u.pos < first) {
+				first = u.pos
+			}
+		}
+		if deferredUnlock {
+			continue
+		}
+		if !anyUnlock {
+			pass.Reportf(c.pos, "%s.%s with no matching %s in this function: the lock leaks on every path", c.recv, c.method, want)
+			continue
+		}
+		end := body.End()
+		if first >= 0 {
+			end = first
+		}
+		for _, r := range returns {
+			if r > c.pos && r < end {
+				pass.Reportf(c.pos, "%s.%s can reach a return (line %d) before the matching %s: defer the unlock or release before returning",
+					c.recv, c.method, pass.Fset.Position(r).Line, want)
+				break
+			}
+		}
+	}
+}
+
+// syncLockCall recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock calls
+// whose method is declared in package sync (including through the
+// sync.Locker interface).
+func syncLockCall(pass *Pass, call *ast.CallExpr) (lockCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockCall{}, false
+	}
+	return lockCall{recv: exprString(pass.Fset, sel.X), method: sel.Sel.Name, pos: call.Pos()}, true
+}
+
+// rangeVarType resolves a range key/value expression's type. A `:=`
+// range clause defines fresh idents, whose types live in Defs rather
+// than the expression-type map.
+func rangeVarType(pass *Pass, e ast.Expr) types.Type {
+	if t := pass.TypeOf(e); t != nil {
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "<expr>"
+	}
+	return strings.Join(strings.Fields(buf.String()), "")
+}

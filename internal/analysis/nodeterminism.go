@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoDeterminism guards the engine's byte-identity invariant: packages
+// whose output must be identical at any -workers count may not read
+// wall-clock time, draw from math/rand's process-global source, or feed
+// accumulated/emitted values from a map iteration (whose order Go
+// randomizes per run).
+//
+// Three hazards are flagged inside Config.DeterministicPkgs:
+//
+//  1. calls to time.Now / time.Since / time.Until;
+//  2. uses of math/rand (or math/rand/v2) package-level functions,
+//     which draw from the shared global source — constructing a local
+//     rand.New(rand.NewSource(seed)) generator is fine;
+//  3. for-range over a map whose body appends to a variable declared
+//     outside the loop, accumulates into an outer floating-point
+//     variable with an op-assign (float addition is not associative,
+//     so the sum depends on iteration order), or prints/writes output.
+//
+// The canonical collect-and-sort idiom — append only the range key
+// and/or value to a slice that the same function passes to sort.* or
+// slices.Sort* — is recognized and not flagged, since the sort
+// restores a canonical order before the slice is consumed.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "flags wall-clock reads, global rand, and order-dependent map iteration in deterministic packages",
+	Run:  runNoDeterminism,
+}
+
+func runNoDeterminism(pass *Pass) {
+	if !containsString(pass.Config.DeterministicPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkClockAndRand(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkClockAndRand flags selector uses of time.Now/Since/Until and of
+// math/rand package-level functions (the ones backed by the global
+// source).
+func checkClockAndRand(pass *Pass, sel *ast.SelectorExpr) {
+	obj := pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // method, e.g. (*rand.Rand).Intn — seeded locally, fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "call to time.%s in deterministic package %s: wall-clock reads vary run to run",
+				fn.Name(), pass.Pkg.Types.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// constructors for locally-seeded generators are deterministic
+		default:
+			pass.Reportf(sel.Pos(), "use of %s.%s in deterministic package %s: draws from the process-global source; seed a local generator via trace.NewRNG or rand.New",
+				fn.Pkg().Path(), fn.Name(), pass.Pkg.Types.Name())
+		}
+	}
+}
+
+// checkMapRanges walks one function body looking for order-dependent
+// map iteration.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	sorted := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rs, sorted)
+		return true
+	})
+}
+
+// sortedSlices collects the objects a function later passes to sort.* /
+// slices.Sort*, used to exempt the sort-the-keys idiom.
+func sortedSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	loopVars := map[types.Object]bool{}
+	if o := identObj(pass, rs.Key); o != nil {
+		loopVars[o] = true
+	}
+	if o := identObj(pass, rs.Value); o != nil {
+		loopVars[o] = true
+	}
+	outer := func(id *ast.Ident) types.Object {
+		obj := pass.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared by or inside the loop
+		}
+		return obj
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, n, loopVars, outer, sorted)
+		case *ast.CallExpr:
+			if name, ok := emitCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "map iteration emits output via %s: map order varies per run; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt,
+	loopVars map[types.Object]bool, outer func(*ast.Ident) types.Object, sorted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue // indexed writes keyed by the loop key are order-insensitive
+			}
+			obj := outer(id)
+			if obj == nil {
+				continue
+			}
+			if t := pass.TypeOf(lhs); t != nil && isFloat(t) {
+				pass.Reportf(as.Pos(), "map iteration accumulates into float %s: float addition is not associative, so the result depends on map order", id.Name)
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok || fid.Name != "append" || len(call.Args) == 0 {
+				continue
+			}
+			if b, ok := pass.ObjectOf(fid).(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			tid, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := outer(tid)
+			if obj == nil {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if lid, ok := as.Lhs[i].(*ast.Ident); !ok || pass.ObjectOf(lid) != obj {
+					continue // appending into a different, possibly loop-local, variable
+				}
+			}
+			if sorted[obj] && appendsOnlyLoopVars(pass, call, loopVars) {
+				continue // collect-and-sort idiom: canonical order restored below
+			}
+			pass.Reportf(as.Pos(), "map iteration appends to %s: element order follows map order, which varies per run", tid.Name)
+		}
+	}
+}
+
+// appendsOnlyLoopVars reports whether every appended element is one of
+// the range statement's own key/value identifiers.
+func appendsOnlyLoopVars(pass *Pass, call *ast.CallExpr, loopVars map[types.Object]bool) bool {
+	if len(loopVars) == 0 {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok || !loopVars[pass.ObjectOf(id)] {
+			return false
+		}
+	}
+	return len(call.Args) > 1
+}
+
+// emitCall reports whether the call prints or writes output: the fmt
+// print family, or a Write/WriteString method.
+func emitCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

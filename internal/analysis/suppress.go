@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// The suppression directive is a line or trailing comment of the form
+//
+//	//ptlint:allow <check> [justification...]
+//
+// It silences findings of the named check on its own line and on the
+// line immediately below (so a directive can sit above the flagged
+// statement). The justification is free text; policy (DESIGN.md §7)
+// requires one, but the framework does not reject its absence — empty
+// justifications are a review problem, not a build problem.
+const allowPrefix = "ptlint:allow"
+
+// allowKey identifies one suppressed (file, line, check) cell.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type allowSet map[allowKey]bool
+
+// collectAllows scans every comment of every file for allow directives.
+func collectAllows(mod *Module) allowSet {
+	set := allowSet{}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, allowPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					check := fields[0]
+					pos := mod.Fset.Position(c.Pos())
+					set[allowKey{pos.Filename, pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether d is covered by a directive on its line or
+// the line above. d must still carry the absolute filename the fset
+// produced (Run relativizes paths only after filtering).
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+		s[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+}

@@ -1,0 +1,3 @@
+module ctr
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package pt is the atomiccounters fixture's stand-in for the real
+// pagetable package. Fields are exported here (unlike the real
+// Counters) so the fixture can demonstrate the direct-field-access
+// finding as well as the copy findings.
+package pt
+
+import "sync/atomic"
+
+type Counters struct {
+	Lookups atomic.Uint64
+	Inserts atomic.Uint64
+}
+
+// Inside the declaring package, field access is the implementation.
+func (c *Counters) NoteLookup() { c.Lookups.Add(1) }
+func (c *Counters) NoteInsert() { c.Inserts.Add(1) }
+
+func (c *Counters) Snapshot() (lookups, inserts uint64) {
+	return c.Lookups.Load(), c.Inserts.Load()
+}

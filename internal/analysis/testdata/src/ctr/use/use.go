@@ -1,0 +1,45 @@
+// Package use exercises atomiccounters from outside the declaring
+// package.
+package use
+
+import "ctr/pt"
+
+type Org struct {
+	stats pt.Counters
+}
+
+func (o *Org) Bad() uint64 {
+	return o.stats.Lookups.Load() // want:atomiccounters direct access to field Lookups
+}
+
+func (o *Org) CopyOut() pt.Counters {
+	return o.stats // want:atomiccounters return copies
+}
+
+func CopyAssign(o *Org) {
+	snap := o.stats // want:atomiccounters assignment copies
+	_, _ = snap.Snapshot()
+}
+
+func PassByValue(c pt.Counters) {} //ptlint:allow locksafety fixture: the call sites are what atomiccounters flags
+
+func CallByValue(o *Org) {
+	PassByValue(o.stats) // want:atomiccounters argument copies
+}
+
+// Good goes through the sanctioned method surface.
+func Good(o *Org) (uint64, uint64) {
+	o.stats.NoteLookup()
+	return o.stats.Snapshot()
+}
+
+// SharePointer is fine: no value copy.
+func SharePointer(o *Org) *pt.Counters {
+	return &o.stats
+}
+
+func AllowedCopy(o *Org) {
+	//ptlint:allow atomiccounters quiesced post-test audit copy, no concurrent writers
+	snap := o.stats
+	_, _ = snap.Snapshot()
+}

@@ -1,0 +1,100 @@
+// Package det is the nodeterminism fixture: a stand-in for the
+// deterministic simulation packages.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now() // want:nodeterminism call to time.Now
+	return t.UnixNano()
+}
+
+func ClockAllowed() time.Duration {
+	start := time.Now()          //ptlint:allow nodeterminism timing instrumentation only, never rendered
+	elapsed := time.Since(start) //ptlint:allow nodeterminism timing instrumentation only, never rendered
+	return elapsed
+}
+
+func GlobalRand() int {
+	return rand.Intn(6) // want:nodeterminism process-global source
+}
+
+func LocalRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine: locally seeded
+	return r.Intn(6)
+}
+
+func EmitMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want:nodeterminism emits output via fmt.Println
+	}
+}
+
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want:nodeterminism float addition is not associative
+	}
+	return sum
+}
+
+// IntAccum is fine: integer addition commutes, so map order is
+// invisible in the result.
+func IntAccum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func AppendTransformed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v*2) // want:nodeterminism element order follows map order
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-and-sort idiom: not flagged,
+// because the sort restores a canonical order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedVals collects values and sorts them — also canonical.
+func SortedVals(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func AllowedAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) //ptlint:allow nodeterminism consumer treats out as an unordered multiset
+	}
+	return out
+}
+
+// KeyedWrites are order-insensitive: each iteration writes its own key.
+func KeyedWrites(src map[string]int) map[string]int {
+	dst := map[string]int{}
+	for k, v := range src {
+		dst[k] = v + 1
+	}
+	return dst
+}

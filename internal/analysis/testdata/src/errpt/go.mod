@@ -1,0 +1,3 @@
+module errpt
+
+go 1.22

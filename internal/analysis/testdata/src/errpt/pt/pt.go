@@ -1,0 +1,40 @@
+// Package pt is the errdrop fixture's stand-in for the real pagetable
+// package: an interface with error-bearing ops and one implementation.
+package pt
+
+import "errors"
+
+var ErrNotMapped = errors.New("not mapped")
+
+type PageTable interface {
+	Map(vpn, ppn uint64) error
+	Unmap(vpn uint64) error
+	ProtectRange(lo, hi uint64) (int, error)
+}
+
+type Linear struct{ m map[uint64]uint64 }
+
+func NewLinear() *Linear { return &Linear{m: map[uint64]uint64{}} }
+
+func (l *Linear) Map(vpn, ppn uint64) error {
+	l.m[vpn] = ppn
+	return nil
+}
+
+func (l *Linear) Unmap(vpn uint64) error {
+	if _, ok := l.m[vpn]; !ok {
+		return ErrNotMapped
+	}
+	delete(l.m, vpn)
+	return nil
+}
+
+func (l *Linear) ProtectRange(lo, hi uint64) (int, error) {
+	n := 0
+	for v := lo; v < hi; v++ {
+		if _, ok := l.m[v]; ok {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,20 @@
+// Package svc is the errdrop fixture's service layer: its exported
+// ops' errors are guarded by package path, not interface membership.
+package svc
+
+import "errpt/pt"
+
+type Service struct{ t pt.PageTable }
+
+func Wrap(t pt.PageTable) *Service { return &Service{t: t} }
+
+func (s *Service) Map(vpn, ppn uint64) error { return s.t.Map(vpn, ppn) }
+
+func (s *Service) MapRange(vpn, ppn, n uint64) (uint64, error) {
+	for i := uint64(0); i < n; i++ {
+		if err := s.t.Map(vpn+i, ppn+i); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}

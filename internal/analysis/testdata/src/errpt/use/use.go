@@ -1,0 +1,36 @@
+// Package use exercises errdrop against interface calls, concrete
+// implementations, and the service layer.
+package use
+
+import (
+	"errpt/pt"
+	"errpt/svc"
+)
+
+func Drops(t pt.PageTable, s *svc.Service) {
+	t.Map(1, 2)    // want:errdrop result of errpt/pt.PageTable.Map is discarded
+	_ = t.Unmap(1) // want:errdrop error result of errpt/pt.PageTable.Unmap assigned to _
+	l := pt.NewLinear()
+	l.Unmap(3)                  // want:errdrop result of
+	_, _ = l.ProtectRange(0, 4) // want:errdrop assigned to _
+	s.Map(1, 2)                 // want:errdrop result of
+	s.MapRange(0, 0, 8)         // want:errdrop result of
+	go t.Map(7, 8)              // want:errdrop discarded by go statement
+	defer t.Unmap(9)            // want:errdrop discarded by defer
+}
+
+func Handled(t pt.PageTable, s *svc.Service) error {
+	if err := t.Map(3, 4); err != nil {
+		return err
+	}
+	n, err := s.MapRange(0, 0, 8)
+	if err != nil {
+		return err
+	}
+	_ = n
+	return t.Unmap(3)
+}
+
+func Deliberate(s *svc.Service) {
+	_ = s.Map(5, 6) //ptlint:allow errdrop conflict-tolerant storm: ErrAlreadyMapped expected between racing goroutines
+}

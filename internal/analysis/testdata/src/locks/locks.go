@@ -1,0 +1,124 @@
+// Package locks is the locksafety fixture.
+package locks
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Stat struct {
+	hits atomic.Uint64
+}
+
+// --- by-value traffic in lock-bearing types ---
+
+func ByValueParam(g Guarded) int { // want:locksafety by-value parameter
+	return g.n
+}
+
+func (g Guarded) ByValueRecv() int { // want:locksafety by-value receiver
+	return g.n
+}
+
+func CopyDeref(g *Guarded) int {
+	snapshot := *g // want:locksafety assignment copies
+	return snapshot.n
+}
+
+func CopyAtomicField(s *Stat,
+	other Stat) { // want:locksafety by-value parameter
+	*s = other // want:locksafety assignment copies
+}
+
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want:locksafety range element copies
+		total += g.n
+	}
+	return total
+}
+
+func PointerIsFine(g *Guarded) *Guarded {
+	h := g
+	return h
+}
+
+func AllowedCopy(g *Guarded) int {
+	//ptlint:allow locksafety post-quiesce snapshot for a test assertion; no concurrent holders
+	snapshot := *g
+	return snapshot.n
+}
+
+// --- Lock/Unlock pairing ---
+
+func EarlyReturn(g *Guarded, fail bool) error {
+	g.mu.Lock() // want:locksafety can reach a return
+	if fail {
+		return errors.New("fail")
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+func NoUnlock(g *Guarded) {
+	g.mu.Lock() // want:locksafety no matching Unlock
+	g.n++
+}
+
+func DeferredIsFine(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func TightPairIsFine(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// UnlockBeforeEveryReturn is fine: each return is preceded by an
+// unlock, so no return falls between the Lock and the first
+// subsequent Unlock.
+func UnlockBeforeEveryReturn(g *Guarded, fail bool) error {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return errors.New("fail")
+	}
+	g.n++
+	g.mu.Unlock()
+	return nil
+}
+
+type RW struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (r *RW) Get(k int) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.m[k]
+	return v, ok
+}
+
+func (r *RW) BadGet(k int) int {
+	r.mu.RLock() // want:locksafety no matching RUnlock
+	return r.m[k]
+}
+
+func Handoff(g *Guarded) {
+	g.mu.Lock() //ptlint:allow locksafety lock intentionally handed to the caller; release via Release()
+	g.n++
+}
+
+func Release(g *Guarded) {
+	g.mu.Unlock()
+}

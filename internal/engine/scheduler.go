@@ -108,7 +108,7 @@ func Fan[T any](ctx context.Context, rc *RunContext, cells []Cell[T]) ([]T, erro
 				if h := rc.eng.opts.Hooks.CellStart; h != nil {
 					h(rc.exp, c.Key)
 				}
-				start := time.Now()
+				start := time.Now() //ptlint:allow nodeterminism per-cell wall time feeds the CellDone hook, not cell results
 				v, err := c.Run(cctx, trace.DeriveSeed(rc.Seed, c.Key))
 				if err != nil {
 					fail(fmt.Errorf("cell %s: %w", c.Key, err))
@@ -117,7 +117,7 @@ func Fan[T any](ctx context.Context, rc *RunContext, cells []Cell[T]) ([]T, erro
 				results[i] = v
 				rc.done.Add(1)
 				if h := rc.eng.opts.Hooks.CellDone; h != nil {
-					h(rc.exp, c.Key, time.Since(start))
+					h(rc.exp, c.Key, time.Since(start)) //ptlint:allow nodeterminism hook instrumentation, never rendered tables
 				}
 			}
 		}()

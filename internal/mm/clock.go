@@ -139,6 +139,7 @@ func (c *Clock) Touch(va addr.V) {
 	if !ok {
 		return
 	}
+	//ptlint:allow errdrop best-effort REF-bit set on an extent the Lookup above just proved mapped; no recoverable failure
 	_, _ = c.space.Table().ProtectRange(c.extentOf(addr.VPNOf(va), e), pte.AttrRef, 0)
 }
 

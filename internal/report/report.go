@@ -57,10 +57,16 @@ func (t *Table) Render(w io.Writer) {
 			if i > 0 {
 				fmt.Fprint(w, "  ")
 			}
+			// Ragged rows can carry more cells than the header; cells
+			// beyond the last header column render unpadded.
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
 			if i == 0 {
-				fmt.Fprintf(w, "%-*s", widths[i], c)
+				fmt.Fprintf(w, "%-*s", width, c)
 			} else {
-				fmt.Fprintf(w, "%*s", widths[i], c)
+				fmt.Fprintf(w, "%*s", width, c)
 			}
 		}
 		fmt.Fprintln(w)

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderEdgeCases drives Render and RenderCSV through degenerate
+// table shapes: the empty-row tables the zero-page workloads produce,
+// headerless tables, and ragged rows.
+func TestRenderEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() *Table
+		want   []string // substrings of Render output
+		lines  int      // non-blank line count of Render output
+		csvRow string   // one substring of RenderCSV output
+	}{
+		{
+			name:   "empty rows",
+			build:  func() *Table { return NewTable("Empty", "wl", "pages") },
+			want:   []string{"Empty", "=====", "wl", "pages", "--"},
+			lines:  4, // title, underline, header, separator
+			csvRow: "wl,pages\n",
+		},
+		{
+			name: "no title empty rows",
+			build: func() *Table {
+				return NewTable("", "col")
+			},
+			want:   []string{"col", "---"},
+			lines:  2,
+			csvRow: "col\n",
+		},
+		{
+			name: "zero-width header",
+			build: func() *Table {
+				tab := NewTable("T")
+				tab.Row()
+				return tab
+			},
+			want:  []string{"T"},
+			lines: 2, // title, underline; header/separator/row rows are blank
+		},
+		{
+			name: "row wider than header",
+			build: func() *Table {
+				tab := NewTable("", "only")
+				tab.Row("a", "spill", "over")
+				return tab
+			},
+			want:  []string{"only", "a", "spill", "over"},
+			lines: 3,
+		},
+		{
+			name: "row narrower than header",
+			build: func() *Table {
+				tab := NewTable("", "a", "b", "c")
+				tab.Row("x")
+				return tab
+			},
+			want:  []string{"a", "b", "c", "x"},
+			lines: 3,
+		},
+		{
+			name: "zero value rows",
+			build: func() *Table {
+				tab := NewTable("", "pages", "avg")
+				tab.Row(uint64(0), 0.0)
+				return tab
+			},
+			want:  []string{"0", "0.000"},
+			lines: 3,
+			// zero-page workload rows format like every other row
+			csvRow: "0,0.000\n",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tab := c.build()
+			var sb strings.Builder
+			tab.Render(&sb)
+			out := sb.String()
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("Render missing %q:\n%s", w, out)
+				}
+			}
+			nonBlank := 0
+			for _, l := range strings.Split(out, "\n") {
+				if strings.TrimSpace(l) != "" {
+					nonBlank++
+				}
+			}
+			if nonBlank != c.lines {
+				t.Errorf("Render produced %d non-blank lines, want %d:\n%q", nonBlank, c.lines, out)
+			}
+			if c.csvRow != "" {
+				var csv strings.Builder
+				tab.RenderCSV(&csv)
+				if !strings.Contains(csv.String(), c.csvRow) {
+					t.Errorf("RenderCSV missing %q:\n%s", c.csvRow, csv.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRenderDeterministic pins that rendering the same table twice
+// yields identical bytes — Render must not mutate the table.
+func TestRenderDeterministic(t *testing.T) {
+	tab := NewTable("D", "k", "v")
+	tab.Row("a", 1.5)
+	tab.Row("b", 2.25)
+	var first, second strings.Builder
+	tab.Render(&first)
+	tab.Render(&second)
+	if first.String() != second.String() {
+		t.Error("two renders of one table differ")
+	}
+}
+
+// TestBarEdge covers the remaining Bar boundary: a value exactly at the
+// cap renders full width without the overflow marker.
+func TestBarEdge(t *testing.T) {
+	if got := Bar(1.0, 1.0, 8); got != strings.Repeat("#", 8) {
+		t.Errorf("Bar at cap = %q", got)
+	}
+	if got := Bar(0, 1.0, 8); got != "" {
+		t.Errorf("Bar(0) = %q", got)
+	}
+}
