@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint fuzz-smoke bench
+.PHONY: all build test lint fuzz-smoke bench bench-alloc
 
 all: build lint test
 
@@ -27,8 +27,18 @@ lint:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAddrFields -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz FuzzPTERoundTrip -fuzztime $(FUZZTIME) ./internal/pte/
+	$(GO) test -run '^$$' -fuzz FuzzArenaOps -fuzztime $(FUZZTIME) ./internal/ptalloc/
 
 # bench runs every benchmark once — a compile-and-smoke pass, not a
 # measurement; use -benchtime with the go tool directly for numbers.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-alloc measures the arena storage layer — fresh vs pooled table
+# builds and the walk-path Touch — and snapshots the result as
+# BENCH_alloc.json (via cmd/benchjson, benchstat-compatible input).
+# Regenerate after storage-layer changes and commit the diff.
+bench-alloc:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkBuild(Fresh|Pooled)|BenchmarkFigure9RowPooled' -benchmem -count 3 ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkMeterTouch -benchmem -count 3 ./internal/memcost/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_alloc.json

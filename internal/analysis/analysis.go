@@ -28,6 +28,13 @@ type Config struct {
 	// ErrPkgs lists packages whose exported operations' error results
 	// must never be discarded (the service layer).
 	ErrPkgs []string
+	// NodeTypes lists the qualified names ("pkgpath.Type") of arena-managed
+	// node and payload types that must never be allocated with bare
+	// make/new/composite literals.
+	NodeTypes []string
+	// AllocPkg is the import path of the arena package, the one place
+	// allowed to allocate NodeTypes storage directly.
+	AllocPkg string
 }
 
 // DefaultConfig returns the configuration enforcing this repository's
@@ -43,6 +50,20 @@ func DefaultConfig(module string) Config {
 		CountersType: p("internal/pagetable") + ".Counters",
 		ErrInterface: p("internal/pagetable") + ".PageTable",
 		ErrPkgs:      []string{p("internal/service")},
+		NodeTypes: []string{
+			p("internal/core") + ".node",
+			p("internal/core") + ".coarseNode",
+			p("internal/linear") + ".leafPage",
+			p("internal/forward") + ".fnode",
+			p("internal/forward") + ".fentry",
+			p("internal/forward") + ".gnode",
+			p("internal/forward") + ".gentry",
+			p("internal/hashed") + ".node",
+			p("internal/hashed") + ".wnode",
+			p("internal/hashed") + ".snode",
+			p("internal/hashed") + ".invEntry",
+		},
+		AllocPkg: p("internal/ptalloc"),
 	}
 }
 
@@ -154,6 +175,7 @@ func Analyzers() []*Analyzer {
 		AtomicCounters,
 		LockSafety,
 		ErrDrop,
+		ArenaAlloc,
 	}
 }
 

@@ -134,6 +134,8 @@ func fixtureConfig(mod string) analysis.Config {
 		CountersType:      mod + "/pt.Counters",
 		ErrInterface:      mod + "/pt.PageTable",
 		ErrPkgs:           []string{mod + "/svc"},
+		NodeTypes:         []string{mod + "/tab.Node", mod + "/tab.Entry"},
+		AllocPkg:          mod + "/alloc",
 	}
 }
 

@@ -23,6 +23,10 @@ func TestErrDrop(t *testing.T) {
 	runFixture(t, "errpt", analysis.ErrDrop, fixtureConfig("errpt"))
 }
 
+func TestArenaAlloc(t *testing.T) {
+	runFixture(t, "arena", analysis.ArenaAlloc, fixtureConfig("arena"))
+}
+
 // TestNoDeterminismScopedToConfiguredPackages pins that the analyzer is
 // silent outside Config.DeterministicPkgs: the same fixture full of
 // violations produces nothing when the config names no packages.
@@ -74,9 +78,9 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 // TestAnalyzersStable pins the suite's composition: CI and docs name
-// these four checks.
+// these five checks.
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop"}
+	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

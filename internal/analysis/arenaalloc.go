@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaAlloc guards the storage layer of PR 4: page-table node and
+// payload types live in per-table ptalloc arenas, and a bare heap
+// allocation of one of them bypasses the arena's handle/generation
+// safety, its occupancy accounting (MemStats would under-report), and
+// its O(1) Reset (the node would leak from the pool's perspective). The
+// analyzer flags, outside the arena package itself:
+//
+//  1. new(T) of a registered node type;
+//  2. make([]T, ...) with a registered node element type;
+//  3. &T{...} — a heap allocation spelled as a literal;
+//  4. slice and array literals []T{...} whose element is registered.
+//
+// A bare value literal T{...} is not flagged: assigning one into
+// arena-owned storage (zeroing a slot, filling a freshly allocated
+// entry) constructs a value, not storage, and is how the organizations
+// are supposed to write through their arena pointers.
+//
+// There is deliberately no declaring-package exemption: the organization
+// packages declare the node types and are exactly the packages that must
+// allocate them through their arenas. Zero-valued declarations
+// (var n node; struct fields) are fine — declaring storage is not
+// allocating it.
+var ArenaAlloc = &Analyzer{
+	Name: "arenaalloc",
+	Doc:  "flags bare make/new/composite-literal allocation of arena-managed node types outside the arena package",
+	Run:  runArenaAlloc,
+}
+
+func runArenaAlloc(pass *Pass) {
+	if pass.Pkg.Path == pass.Config.AllocPkg {
+		return // the arena package is the one sanctioned allocator
+	}
+	var targets []types.Type
+	for _, q := range pass.Config.NodeTypes {
+		if tn, ok := pass.LookupQualified(q).(*types.TypeName); ok {
+			targets = append(targets, tn.Type())
+		}
+	}
+	if len(targets) == 0 {
+		return // no registered type reachable from this package
+	}
+	lookup := func(t types.Type) types.Type {
+		if t == nil {
+			return nil
+		}
+		for _, target := range targets {
+			if types.Identical(t, target) {
+				return target
+			}
+		}
+		return nil
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				id, ok := stripParens(n.Fun).(*ast.Ident)
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				obj := pass.ObjectOf(id)
+				if b, ok := obj.(*types.Builtin); !ok || (b.Name() != "new" && b.Name() != "make") {
+					return true
+				}
+				argT := pass.TypeOf(n.Args[0])
+				if obj.Name() == "new" {
+					if target := lookup(argT); target != nil {
+						pass.Reportf(n.Pos(), "new(%s) bypasses the node arena: allocate through the table's ptalloc.Arena", typeString(target))
+					}
+					return true
+				}
+				if sl, ok := argT.Underlying().(*types.Slice); ok {
+					if target := lookup(sl.Elem()); target != nil {
+						pass.Reportf(n.Pos(), "make of []%s bypasses the payload arena: allocate the run through the table's ptalloc.SliceArena", typeString(target))
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if cl, ok := stripParens(n.X).(*ast.CompositeLit); ok {
+					if target := lookup(pass.TypeOf(cl)); target != nil {
+						pass.Reportf(n.Pos(), "&%s{...} allocates a node outside its arena: use the table's ptalloc allocator", typeString(target))
+					}
+				}
+			case *ast.CompositeLit:
+				ut := pass.TypeOf(n)
+				if ut == nil {
+					return true
+				}
+				switch ut.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					var elem types.Type
+					if sl, ok := ut.Underlying().(*types.Slice); ok {
+						elem = sl.Elem()
+					} else {
+						elem = ut.Underlying().(*types.Array).Elem()
+					}
+					if target := lookup(elem); target != nil {
+						pass.Reportf(n.Pos(), "literal of []%s allocates node storage outside its arena: use the table's ptalloc.SliceArena", typeString(target))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

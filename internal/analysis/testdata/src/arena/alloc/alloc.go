@@ -1,0 +1,13 @@
+// Package alloc is the arenaalloc fixture's stand-in for the real
+// ptalloc package: the one place allowed to allocate node storage
+// directly.
+package alloc
+
+import "arena/tab"
+
+// Slab allocation inside the arena package is the sanctioned path and
+// must not be flagged.
+func NewSlab(n int) []tab.Node { return make([]tab.Node, n) }
+
+// NewNode is the arena package's bare allocation — also exempt.
+func NewNode() *tab.Node { return new(tab.Node) }

@@ -1,0 +1,3 @@
+module arena
+
+go 1.22

@@ -1,0 +1,57 @@
+// Package tab declares arena-managed node types and exercises every
+// arenaalloc finding — including in the declaring package itself, which
+// gets no exemption: the organizations declare the node types and are
+// exactly the packages that must allocate them through their arenas.
+package tab
+
+// Node is a registered arena-managed node type.
+type Node struct {
+	Key  uint64
+	Next *Node
+}
+
+// Entry is a registered payload type stored in size-classed runs.
+type Entry struct {
+	Word uint64
+}
+
+// Plain is not registered; allocating it freely is fine.
+type Plain struct{ X int }
+
+func BadNew() *Node {
+	return new(Node) // want:arenaalloc new(arena/tab.Node) bypasses the node arena
+}
+
+func BadMake(n int) []Entry {
+	return make([]Entry, n) // want:arenaalloc make of []arena/tab.Entry bypasses the payload arena
+}
+
+func BadAddrLit() *Node {
+	return &Node{Key: 1} // want:arenaalloc &arena/tab.Node{...} allocates a node outside its arena
+}
+
+func BadSliceLit() []Entry {
+	return []Entry{{Word: 1}} // want:arenaalloc literal of []arena/tab.Entry allocates node storage
+}
+
+// GoodValueWrite assigns a value literal into existing storage — the
+// idiomatic way to fill or zero an arena slot; not an allocation.
+func GoodValueWrite(dst *Node) {
+	*dst = Node{Key: 2}
+}
+
+// GoodZeroDecl declares storage without allocating.
+func GoodZeroDecl() uint64 {
+	var n Node
+	return n.Key
+}
+
+// GoodPlain allocates an unregistered type.
+func GoodPlain() *Plain {
+	return &Plain{X: 1}
+}
+
+func AllowedScratch() *Node {
+	//ptlint:allow arenaalloc fixture: scratch node outside any table lifetime
+	return &Node{Key: 3}
+}

@@ -27,6 +27,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -95,6 +96,14 @@ type Table struct {
 	logSBF  uint
 	buckets []bucket
 
+	// Node storage: chain nodes come from the node arena, their mapping-
+	// word vectors from the word arena (full nodes use s-word runs,
+	// compact and sparse nodes 1-word runs, so the word arena's live
+	// bytes are exactly the paper's PTEBytes minus the 16-byte header
+	// charge per node).
+	nodes *ptalloc.Arena[node]
+	words *ptalloc.SliceArena[pte.Word]
+
 	stats    pagetable.Counters
 	nFull    atomic.Uint64 // full (complete-subblock) nodes
 	nCompact atomic.Uint64 // partial-subblock + superpage nodes
@@ -116,6 +125,8 @@ func New(cfg Config) (*Table, error) {
 		cfg:     cfg,
 		logSBF:  addr.Log2(uint64(cfg.SubblockFactor)),
 		buckets: make([]bucket, cfg.Buckets),
+		nodes:   ptalloc.NewArena[node](),
+		words:   ptalloc.NewSliceArena[pte.Word](),
 	}, nil
 }
 
@@ -169,6 +180,65 @@ func (t *Table) Stats() pagetable.Stats {
 	return t.stats.Snapshot()
 }
 
+// MemStats implements pagetable.MemReporter: measured arena occupancy.
+// The word arena's live bytes relate exactly to the analytical Size():
+// Payload.LiveBytes == Size().PTEBytes - headerBytes*Size().Nodes.
+func (t *Table) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: t.nodes.Stats(), Payload: t.words.Stats()}
+}
+
+// Reset implements pagetable.Resetter: it drops every mapping and
+// returns the table to its just-constructed state in O(buckets), with
+// both arenas rewound in O(1) and their slabs retained for refill.
+func (t *Table) Reset() {
+	// Reset requires quiescence: no operation may be in flight, and the
+	// caller must publish the reset through its own synchronization (the
+	// pool mutex, the service's stripe locks, or a goroutine join), so
+	// the bucket heads are cleared with plain writes — taking 4096 bucket
+	// locks here dominated the pooled-rebuild profile.
+	for i := range t.buckets {
+		t.buckets[i].head = nil
+	}
+	t.nodes.Reset()
+	t.words.Reset()
+	t.nFull.Store(0)
+	t.nCompact.Store(0)
+	t.nSparse.Store(0)
+	t.nMapped.Store(0)
+	t.stats.Reset()
+}
+
+// allocNode carves a chain node and its nwords-long mapping vector out
+// of the table's arenas.
+func (t *Table) allocNode(vpbn addr.VPBN, kind nodeKind, nwords int) *node {
+	h, nd := t.nodes.Alloc()
+	wh, words := t.words.Alloc(nwords)
+	nd.vpbn, nd.kind, nd.words, nd.h, nd.wh = vpbn, kind, words, h, wh
+	return nd
+}
+
+// setWords replaces nd's mapping vector with a fresh zeroed run of n
+// words, freeing the old run. Callers capture any word they need to
+// carry over before calling.
+func (t *Table) setWords(nd *node, n int) {
+	t.words.Free(nd.wh)
+	nd.wh, nd.words = t.words.Alloc(n)
+}
+
+// freeNode returns a node and its mapping vector to the arenas. The
+// node must already be unlinked from its chain.
+func (t *Table) freeNode(nd *node) {
+	t.words.Free(nd.wh)
+	t.nodes.Free(nd.h)
+}
+
+// unlinkFree unlinks nd from its chain and frees its storage. Caller
+// holds the bucket write lock.
+func (t *Table) unlinkFree(b *bucket, nd *node) {
+	b.unlink(nd)
+	t.freeNode(nd)
+}
+
 // AuditSize recomputes the size accounting by walking every bucket,
 // independently of the incremental counters Size reports. The two must
 // agree; the fuzz suite asserts it after long mixed-operation runs.
@@ -214,4 +284,6 @@ var (
 	_ pagetable.SuperpageMapper = (*Table)(nil)
 	_ pagetable.PartialMapper   = (*Table)(nil)
 	_ pagetable.BlockReader     = (*Table)(nil)
+	_ pagetable.MemReporter     = (*Table)(nil)
+	_ pagetable.Resetter        = (*Table)(nil)
 )

@@ -64,7 +64,9 @@ func (t *Table) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 		t.demotePSB(psb)
 		psb.words[boff] = word
 	case t.cfg.SparseNodes:
-		nd := &node{vpbn: vpbn, kind: nodeSparse, sparseOff: boff, words: []pte.Word{word}}
+		nd := t.allocNode(vpbn, nodeSparse, 1)
+		nd.sparseOff = boff
+		nd.words[0] = word
 		nd.next, b.head = b.head, nd
 		t.account(0, 0, 1, 0)
 	default:
@@ -86,7 +88,7 @@ func (t *Table) psbAbsorbs(w pte.Word, boff uint64, ppn addr.PPN, attr pte.Attr)
 }
 
 func (t *Table) newFullNode(vpbn addr.VPBN) *node {
-	return &node{vpbn: vpbn, kind: nodeFull, words: make([]pte.Word, t.cfg.SubblockFactor)}
+	return t.allocNode(vpbn, nodeFull, t.cfg.SubblockFactor)
 }
 
 // widenSparse converts a sparse single-mapping node into a full node in
@@ -95,7 +97,7 @@ func (t *Table) widenSparse(nd *node) {
 	w, off := nd.words[0], nd.sparseOff
 	nd.kind = nodeFull
 	nd.sparseOff = 0
-	nd.words = make([]pte.Word, t.cfg.SubblockFactor)
+	t.setWords(nd, t.cfg.SubblockFactor)
 	nd.words[off] = w
 	t.account(1, 0, -1, 0)
 }
@@ -105,7 +107,7 @@ func (t *Table) widenSparse(nd *node) {
 func (t *Table) demotePSB(nd *node) {
 	w := nd.words[0]
 	nd.kind = nodeFull
-	nd.words = make([]pte.Word, t.cfg.SubblockFactor)
+	t.setWords(nd, t.cfg.SubblockFactor)
 	for boff := uint64(0); boff < uint64(t.cfg.SubblockFactor); boff++ {
 		if w.ValidAt(boff) {
 			nd.words[boff] = pte.MakeBase(w.PPNAt(boff), w.Attr())
@@ -154,8 +156,8 @@ func (t *Table) MapPartial(vpbn addr.VPBN, basePPN addr.PPN, attr pte.Attr, vali
 		t.noteInsert()
 		return nil
 	}
-	nd := &node{vpbn: vpbn, kind: nodeCompact,
-		words: []pte.Word{pte.MakePartial(basePPN, attr, valid, t.logSBF)}}
+	nd := t.allocNode(vpbn, nodeCompact, 1)
+	nd.words[0] = pte.MakePartial(basePPN, attr, valid, t.logSBF)
 	nd.next, b.head = b.head, nd
 	t.account(0, 1, 0, int64(bits.OnesCount16(valid)))
 	t.noteInsert()
@@ -253,7 +255,8 @@ func (t *Table) mapBlockSuperpage(vpn addr.VPN, word pte.Word, blocks uint64) er
 			t.rollbackSuperpage(inserted)
 			return err
 		}
-		nd := &node{vpbn: vpbn, kind: nodeCompact, words: []pte.Word{word}}
+		nd := t.allocNode(vpbn, nodeCompact, 1)
+		nd.words[0] = word
 		nd.next, b.head = b.head, nd
 		b.mu.Unlock()
 		inserted = append(inserted, nd)
@@ -267,7 +270,7 @@ func (t *Table) rollbackSuperpage(inserted []*node) {
 	for _, nd := range inserted {
 		b := t.bucketFor(nd.vpbn)
 		b.mu.Lock()
-		b.unlink(nd)
+		t.unlinkFree(b, nd)
 		b.mu.Unlock()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"clusterpt/internal/addr"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -42,7 +43,11 @@ type node struct {
 	// word; in a real implementation it rides in unused high tag bits.
 	sparseOff uint64
 	// words holds s mapping words for full nodes, 1 for compact/sparse.
+	// The slice is a run in the table's word arena; wh is its handle.
 	words []pte.Word
+	// h and wh are the node's own arena handle and its words-run handle,
+	// kept so unlink sites can return both to the arenas.
+	h, wh ptalloc.Handle
 }
 
 // paperBytes is the node's size under the paper's accounting.

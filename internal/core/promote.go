@@ -79,12 +79,14 @@ func (t *Table) TryPromote(vpbn addr.VPBN) Promotion {
 	if allValid {
 		size := addr.Size(uint64(sbf) * addr.BasePageSize)
 		nd.kind = nodeCompact
-		nd.words = []pte.Word{pte.MakeSuperpage(base, attr, size)}
+		t.setWords(nd, 1)
+		nd.words[0] = pte.MakeSuperpage(base, attr, size)
 		t.account(-1, 1, 0, 0)
 		return PromoteSuperpage
 	}
 	nd.kind = nodeCompact
-	nd.words = []pte.Word{pte.MakePartial(base, attr, valid, t.logSBF)}
+	t.setWords(nd, 1)
+	nd.words[0] = pte.MakePartial(base, attr, valid, t.logSBF)
 	t.account(-1, 1, 0, 0)
 	return PromotePartial
 }

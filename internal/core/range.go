@@ -105,7 +105,8 @@ func (t *Table) protectFullWords(nd *node, lo, hi uint64, set, clear pte.Attr) {
 // a full node of base words in place. Caller holds the bucket write lock.
 func (t *Table) demoteCompactLocked(nd *node, w pte.Word) {
 	sbf := uint64(t.cfg.SubblockFactor)
-	words := make([]pte.Word, sbf)
+	t.setWords(nd, int(sbf))
+	words := nd.words
 	switch w.Kind() {
 	case pte.KindPartial:
 		for i := uint64(0); i < sbf; i++ {
@@ -129,7 +130,6 @@ func (t *Table) demoteCompactLocked(nd *node, w pte.Word) {
 		}
 	}
 	nd.kind = nodeFull
-	nd.words = words
 	t.account(1, -1, 0, 0)
 }
 

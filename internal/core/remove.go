@@ -48,14 +48,14 @@ func (t *Table) Unmap(vpn addr.VPN) error {
 func (t *Table) removeAt(b *bucket, nd *node, w pte.Word, boff uint64) error {
 	switch nd.kind {
 	case nodeSparse:
-		b.unlink(nd)
+		t.unlinkFree(b, nd)
 		t.account(0, 0, -1, 0)
 		return nil
 	case nodeCompact:
 		if w.Kind() == pte.KindPartial {
 			m := w.ValidMask() &^ (1 << boff)
 			if m == 0 {
-				b.unlink(nd)
+				t.unlinkFree(b, nd)
 				t.account(0, -1, 0, 0)
 				return nil
 			}
@@ -88,7 +88,7 @@ func (t *Table) removeAt(b *bucket, nd *node, w pte.Word, boff uint64) error {
 		}
 		nd.words[boff] = pte.Invalid
 		if nd.empty() {
-			b.unlink(nd)
+			t.unlinkFree(b, nd)
 			t.account(-1, 0, 0, 0)
 		}
 		return nil
@@ -99,7 +99,7 @@ func (t *Table) removeAt(b *bucket, nd *node, w pte.Word, boff uint64) error {
 // node of base words with offset boff cleared.
 func (t *Table) demoteSuperpageNode(nd *node, w pte.Word, boff uint64) {
 	nd.kind = nodeFull
-	nd.words = make([]pte.Word, t.cfg.SubblockFactor)
+	t.setWords(nd, t.cfg.SubblockFactor)
 	for i := uint64(0); i < uint64(t.cfg.SubblockFactor); i++ {
 		if i == boff {
 			continue
@@ -124,7 +124,7 @@ func (t *Table) expandSubBlockSuperpage(b *bucket, nd *node, w pte.Word, boff ui
 		nd.words[slot] = pte.MakeBase(w.PPN()+addr.PPN(i), w.Attr())
 	}
 	if nd.empty() {
-		b.unlink(nd)
+		t.unlinkFree(b, nd)
 		t.account(-1, 0, 0, 0)
 	}
 }
@@ -164,7 +164,7 @@ func (t *Table) unmapSubBlockSuperpage(vpn addr.VPN, size addr.Size, pages uint6
 		nd.words[boff+i] = pte.Invalid
 	}
 	if nd.empty() {
-		b.unlink(nd)
+		t.unlinkFree(b, nd)
 		t.account(-1, 0, 0, 0)
 	}
 	t.account(0, 0, 0, -int64(pages))
@@ -203,7 +203,7 @@ func (t *Table) unmapBlockSuperpage(vpn addr.VPN, size addr.Size, blocks uint64)
 				n.words[0].Size() == size
 		})
 		if nd != nil {
-			b.unlink(nd)
+			t.unlinkFree(b, nd)
 		}
 		b.mu.Unlock()
 	}

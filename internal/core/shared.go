@@ -172,3 +172,10 @@ func (s *Shared) DestroySpace(asid ASID) uint64 {
 // Size reports the shared table's memory — one bucket array for every
 // process, the economy §7 attributes to shared tables on large servers.
 func (s *Shared) Size() pagetable.Size { return s.tab.Size() }
+
+// MemStats reports the underlying table's measured arena occupancy.
+func (s *Shared) MemStats() pagetable.MemStats { return s.tab.MemStats() }
+
+// Reset tears down every address space at once via arena reset — the
+// whole-machine variant of DestroySpace.
+func (s *Shared) Reset() { s.tab.Reset() }

@@ -7,6 +7,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -44,6 +45,8 @@ const (
 type coarseTable struct {
 	cfg     Config
 	buckets []coarseBucket
+	nodes   *ptalloc.Arena[coarseNode]
+	words   *ptalloc.SliceArena[pte.Word]
 	mu      sync.Mutex
 	nFull   uint64
 	nComp   uint64
@@ -60,6 +63,7 @@ type coarseNode struct {
 	next    *coarseNode
 	compact bool
 	words   []pte.Word // superpage words, one per 64KB unit (or 1 if compact)
+	h, wh   ptalloc.Handle
 }
 
 // NewTiered builds a two-tier clustered page table. cfg parameterizes
@@ -74,6 +78,8 @@ func NewTiered(cfg Config) (*Tiered, error) {
 		coarse: coarseTable{
 			cfg:     fine.cfg,
 			buckets: make([]coarseBucket, fine.cfg.Buckets),
+			nodes:   ptalloc.NewArena[coarseNode](),
+			words:   ptalloc.NewSliceArena[pte.Word](),
 		},
 	}, nil
 }
@@ -182,10 +188,49 @@ func (t *Tiered) Size() pagetable.Size {
 // Stats implements pagetable.PageTable (fine-tier operation counts).
 func (t *Tiered) Stats() pagetable.Stats { return t.fine.Stats() }
 
+// MemStats implements pagetable.MemReporter: both tiers' arenas merged.
+func (t *Tiered) MemStats() pagetable.MemStats {
+	return t.fine.MemStats().Add(pagetable.MemStats{
+		Nodes:   t.coarse.nodes.Stats(),
+		Payload: t.coarse.words.Stats(),
+	})
+}
+
+// Reset implements pagetable.Resetter on both tiers.
+func (t *Tiered) Reset() {
+	// Quiescence contract (see core.Table.Reset): the caller's own
+	// synchronization publishes these plain writes.
+	t.fine.Reset()
+	c := &t.coarse
+	for i := range c.buckets {
+		c.buckets[i].head = nil
+	}
+	c.nodes.Reset()
+	c.words.Reset()
+	c.nFull, c.nComp, c.mapped = 0, 0, 0
+}
+
 // --- coarse tier internals ---
 
 func (c *coarseTable) bucketFor(block uint64) *coarseBucket {
 	return &c.buckets[pagetable.BucketIndex(pagetable.HashVPN(block), c.cfg.Buckets)]
+}
+
+// allocNode carves a coarse node and its word vector out of the tier's
+// arenas.
+func (c *coarseTable) allocNode(block uint64, compact bool, nwords int) *coarseNode {
+	h, nd := c.nodes.Alloc()
+	wh, words := c.words.Alloc(nwords)
+	nd.block, nd.compact, nd.words, nd.h, nd.wh = block, compact, words, h, wh
+	return nd
+}
+
+// unlinkFree unlinks nd and returns its storage to the arenas. Caller
+// holds the bucket write lock.
+func (c *coarseTable) unlinkFree(b *coarseBucket, nd *coarseNode) {
+	c.unlink(b, nd)
+	c.words.Free(nd.wh)
+	c.nodes.Free(nd.h)
 }
 
 // split returns the 1MB-block number and unit offset for a vpn.
@@ -250,7 +295,7 @@ func (c *coarseTable) mapSuperpage(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, si
 			if c.hasCompact(b, block) {
 				return fmt.Errorf("%w: block %#x holds a 1MB+ superpage", pagetable.ErrAlreadyMapped, block)
 			}
-			nd = &coarseNode{block: block, words: make([]pte.Word, coarseSlots)}
+			nd = c.allocNode(block, false, coarseSlots)
 			nd.next, b.head = b.head, nd
 			c.account(1, 0, 0)
 		}
@@ -278,7 +323,8 @@ func (c *coarseTable) mapSuperpage(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, si
 			c.rollback(inserted)
 			return fmt.Errorf("%w: block %#x occupied", pagetable.ErrAlreadyMapped, block)
 		}
-		nd := &coarseNode{block: block, compact: true, words: []pte.Word{word}}
+		nd := c.allocNode(block, true, 1)
+		nd.words[0] = word
 		nd.next, b.head = b.head, nd
 		b.mu.Unlock()
 		inserted = append(inserted, nd)
@@ -306,7 +352,7 @@ func (c *coarseTable) unmapSuperpage(vpn addr.VPN, size addr.Size) error {
 			nd.words[unit+i] = pte.Invalid
 		}
 		if nd.empty() {
-			c.unlink(b, nd)
+			c.unlinkFree(b, nd)
 			c.account(-1, 0, -int64(pages))
 		} else {
 			c.account(0, 0, -int64(pages))
@@ -322,7 +368,7 @@ func (c *coarseTable) unmapSuperpage(vpn addr.VPN, size addr.Size) error {
 		found := false
 		for nd := b.head; nd != nil; nd = nd.next {
 			if nd.block == block && nd.compact && nd.words[0].Valid() && nd.words[0].Size() == size {
-				c.unlink(b, nd)
+				c.unlinkFree(b, nd)
 				found = true
 				break
 			}
@@ -408,7 +454,7 @@ func (c *coarseTable) rollback(inserted []*coarseNode) {
 	for _, nd := range inserted {
 		b := c.bucketFor(nd.block)
 		b.mu.Lock()
-		c.unlink(b, nd)
+		c.unlinkFree(b, nd)
 		b.mu.Unlock()
 	}
 }
@@ -425,4 +471,6 @@ var (
 	_ pagetable.PageTable       = (*Tiered)(nil)
 	_ pagetable.SuperpageMapper = (*Tiered)(nil)
 	_ pagetable.PartialMapper   = (*Tiered)(nil)
+	_ pagetable.MemReporter     = (*Tiered)(nil)
+	_ pagetable.Resetter        = (*Tiered)(nil)
 )

@@ -151,12 +151,15 @@ func runTable1(ctx context.Context, rc *RunContext) (*Result, error) {
 
 func runFig9(ctx context.Context, rc *RunContext) (*Result, error) {
 	profiles := trace.Profiles()
+	// One pool for the whole experiment: each cell's tables are recycled
+	// into the next cell's builds (the pool is safe under Fan's workers).
+	pool := sim.NewTablePool()
 	cells := make([]Cell[sim.SizeRow], len(profiles))
 	for i, p := range profiles {
 		cells[i] = Cell[sim.SizeRow]{
 			Key: "fig9/" + p.Name,
 			Run: func(ctx context.Context, seed uint64) (sim.SizeRow, error) {
-				return sim.Figure9Row(p)
+				return sim.Figure9RowPooled(p, pool)
 			},
 		}
 	}
@@ -180,12 +183,13 @@ func runFig9(ctx context.Context, rc *RunContext) (*Result, error) {
 
 func runFig10(ctx context.Context, rc *RunContext) (*Result, error) {
 	profiles := trace.Profiles()
+	pool := sim.NewTablePool()
 	cells := make([]Cell[sim.SizeRow], len(profiles))
 	for i, p := range profiles {
 		cells[i] = Cell[sim.SizeRow]{
 			Key: "fig10/" + p.Name,
 			Run: func(ctx context.Context, seed uint64) (sim.SizeRow, error) {
-				return sim.Figure10Row(p)
+				return sim.Figure10RowPooled(p, pool)
 			},
 		}
 	}
@@ -258,12 +262,13 @@ type table2Row struct {
 
 func runTable2(ctx context.Context, rc *RunContext) (*Result, error) {
 	profiles := trace.Profiles()
+	pool := sim.NewTablePool()
 	cells := make([]Cell[table2Row], len(profiles))
 	for i, p := range profiles {
 		cells[i] = Cell[table2Row]{
 			Key: "table2/" + p.Name,
 			Run: func(ctx context.Context, seed uint64) (table2Row, error) {
-				sizes, err := sim.Figure9Row(p)
+				sizes, err := sim.Figure9RowPooled(p, pool)
 				if err != nil {
 					return table2Row{}, err
 				}

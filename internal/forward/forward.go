@@ -22,6 +22,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -81,10 +82,14 @@ type fentry struct {
 	word  pte.Word
 }
 
-// fnode is one tree node.
+// fnode is one tree node. The entry array lives in the table's fentry
+// slice arena (every level width is a power of two, so the size-class
+// run is exact); h and eh let pruning return both to their arenas.
 type fnode struct {
 	entries []fentry
 	count   int // occupied slots (child or valid word)
+	h       ptalloc.Handle
+	eh      ptalloc.Handle
 }
 
 // Table is a forward-mapped page table.
@@ -102,6 +107,9 @@ type Table struct {
 	nodesAtLvl []uint64
 	nMapped    uint64
 	stats      pagetable.Counters
+
+	nodes   *ptalloc.Arena[fnode]
+	entries *ptalloc.SliceArena[fentry]
 }
 
 // New creates a forward-mapped page table.
@@ -116,6 +124,8 @@ func New(cfg Config) (*Table, error) {
 		mask:       make([]uint64, n),
 		coverage:   make([]uint64, n),
 		nodesAtLvl: make([]uint64, n),
+		nodes:      ptalloc.NewArena[fnode](),
+		entries:    ptalloc.NewSliceArena[fentry](),
 	}
 	var below uint
 	for i := n - 1; i >= 0; i-- {
@@ -139,7 +149,17 @@ func MustNew(cfg Config) *Table {
 
 func (t *Table) newNode(level int) *fnode {
 	t.nodesAtLvl[level]++
-	return &fnode{entries: make([]fentry, 1<<t.cfg.LevelBits[level])}
+	h, nd := t.nodes.Alloc()
+	nd.h = h
+	nd.eh, nd.entries = t.entries.Alloc(1 << t.cfg.LevelBits[level])
+	return nd
+}
+
+// freeNode returns a pruned node and its entry array to the arenas.
+// Caller holds the write lock and has already unlinked the node.
+func (t *Table) freeNode(nd *fnode) {
+	t.entries.Free(nd.eh)
+	t.nodes.Free(nd.h)
 }
 
 // Name implements pagetable.PageTable.
@@ -250,6 +270,7 @@ func (t *Table) pruneIfEmpty(vpn addr.VPN, path []*fnode) {
 			parent.entries[s].child = nil
 			parent.count--
 			t.nodesAtLvl[lvl]--
+			t.freeNode(path[lvl])
 		}
 	}
 }
@@ -353,6 +374,28 @@ func (t *Table) Stats() pagetable.Stats {
 	return t.stats.Snapshot()
 }
 
+// MemStats implements pagetable.MemReporter. Node headers live in the
+// fnode arena; entry arrays in the fentry slice arena. The analytical
+// Size() charges 8 bytes per entry (a packed PTP/PTE word) while fentry
+// is a 16-byte Go struct, so the measured payload is 2× the model — a
+// fixed, test-checked factor.
+func (t *Table) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: t.nodes.Stats(), Payload: t.entries.Stats()}
+}
+
+// Reset implements pagetable.Resetter: both arenas rewind and a fresh
+// root is carved, leaving the table exactly as New returned it.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes.Reset()
+	t.entries.Reset()
+	clear(t.nodesAtLvl)
+	t.root = t.newNode(0)
+	t.nMapped = 0
+	t.stats.Reset()
+}
+
 // levelForSize returns the tree level whose per-entry coverage equals the
 // superpage size, or -1.
 func (t *Table) levelForSize(size addr.Size) int {
@@ -383,4 +426,6 @@ var (
 	_ pagetable.SuperpageMapper = (*Table)(nil)
 	_ pagetable.PartialMapper   = (*Table)(nil)
 	_ pagetable.BlockReader     = (*Table)(nil)
+	_ pagetable.MemReporter     = (*Table)(nil)
+	_ pagetable.Resetter        = (*Table)(nil)
 )

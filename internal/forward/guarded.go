@@ -7,6 +7,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -31,6 +32,9 @@ type Guarded struct {
 	nNodes  uint64
 	nMapped uint64
 	stats   pagetable.Stats
+
+	nodes   *ptalloc.Arena[gnode]
+	entries *ptalloc.SliceArena[gentry]
 }
 
 // GuardedConfig parameterizes a guarded page table.
@@ -60,10 +64,15 @@ func (c *GuardedConfig) fill() error {
 }
 
 // gnode is one guarded-table node: a small array of entries, each with a
-// guard string and either a child or a PTE.
+// guard string and either a child or a PTE. Entry arrays come from the
+// table's gentry slice arena (1<<IndexBits is a power of two, so the
+// size-class run is exact); guarded tables never prune, so the handles
+// only matter for Reset.
 type gnode struct {
 	entries []gentry
 	count   int
+	h       ptalloc.Handle
+	eh      ptalloc.Handle
 }
 
 // gentry is one slot: the guard is the address-bit string (guardLen
@@ -82,7 +91,11 @@ func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	g := &Guarded{cfg: cfg}
+	g := &Guarded{
+		cfg:     cfg,
+		nodes:   ptalloc.NewArena[gnode](),
+		entries: ptalloc.NewSliceArena[gentry](),
+	}
 	g.root = g.newNode()
 	return g, nil
 }
@@ -98,7 +111,10 @@ func MustNewGuarded(cfg GuardedConfig) *Guarded {
 
 func (g *Guarded) newNode() *gnode {
 	g.nNodes++
-	return &gnode{entries: make([]gentry, 1<<g.cfg.IndexBits)}
+	h, nd := g.nodes.Alloc()
+	nd.h = h
+	nd.eh, nd.entries = g.entries.Alloc(1 << g.cfg.IndexBits)
+	return nd
 }
 
 // Name implements pagetable.PageTable.
@@ -354,6 +370,25 @@ func (g *Guarded) Stats() pagetable.Stats {
 	return g.stats
 }
 
+// MemStats implements pagetable.MemReporter. The analytical Size()
+// charges 16 bytes per entry; the Go gentry struct is 40, a fixed
+// factor the measurement tests account for.
+func (g *Guarded) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: g.nodes.Stats(), Payload: g.entries.Stats()}
+}
+
+// Reset implements pagetable.Resetter.
+func (g *Guarded) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nodes.Reset()
+	g.entries.Reset()
+	g.nNodes = 0
+	g.root = g.newNode()
+	g.nMapped = 0
+	g.stats = pagetable.Stats{}
+}
+
 // Depth reports the tree depth a lookup of vpn would traverse (0 if
 // unmapped) — the quantity the §2 ablation compares against the fixed
 // seven-level walk.
@@ -367,4 +402,8 @@ func (g *Guarded) Depth(vpn addr.VPN) int {
 	return cost.Nodes
 }
 
-var _ pagetable.PageTable = (*Guarded)(nil)
+var (
+	_ pagetable.PageTable   = (*Guarded)(nil)
+	_ pagetable.MemReporter = (*Guarded)(nil)
+	_ pagetable.Resetter    = (*Guarded)(nil)
+)

@@ -17,6 +17,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -63,6 +64,7 @@ func (c *Config) fill() error {
 type Table struct {
 	cfg     Config
 	buckets []bucket
+	nodes   *ptalloc.Arena[node]
 
 	stats  pagetable.Counters
 	nNodes atomic.Uint64
@@ -73,11 +75,13 @@ type bucket struct {
 	head *node
 }
 
-// node is one hash-chain element: tag, next, one mapping word.
+// node is one hash-chain element: tag, next, one mapping word, plus its
+// arena handle so Unmap can return it.
 type node struct {
 	vpn  addr.VPN
 	next *node
 	word pte.Word
+	h    ptalloc.Handle
 }
 
 // New creates a hashed page table.
@@ -85,7 +89,11 @@ func New(cfg Config) (*Table, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Table{cfg: cfg, buckets: make([]bucket, cfg.Buckets)}, nil
+	return &Table{
+		cfg:     cfg,
+		buckets: make([]bucket, cfg.Buckets),
+		nodes:   ptalloc.NewArena[node](),
+	}, nil
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -164,7 +172,8 @@ func (t *Table) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 			return fmt.Errorf("%w: vpn %#x", pagetable.ErrAlreadyMapped, uint64(vpn))
 		}
 	}
-	nd := &node{vpn: vpn, word: pte.MakeBase(ppn, attr)}
+	h, nd := t.nodes.Alloc()
+	nd.vpn, nd.word, nd.h = vpn, pte.MakeBase(ppn, attr), h
 	nd.next, b.head = b.head, nd
 
 	t.nNodes.Add(1)
@@ -180,6 +189,7 @@ func (t *Table) Unmap(vpn addr.VPN) error {
 	for link := &b.head; *link != nil; link = &(*link).next {
 		if nd := *link; nd.vpn == vpn && nd.word.Valid() {
 			*link = nd.next
+			t.nodes.Free(nd.h)
 			t.nNodes.Add(^uint64(0))
 			t.stats.NoteRemove()
 			return nil
@@ -227,6 +237,25 @@ func (t *Table) Stats() pagetable.Stats {
 	return t.stats.Snapshot()
 }
 
+// MemStats implements pagetable.MemReporter. One live node per valid
+// mapping; the analytical Size() charges each node 24 bytes (16 packed)
+// while the node arena charges the Go struct size.
+func (t *Table) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: t.nodes.Stats()}
+}
+
+// Reset implements pagetable.Resetter.
+func (t *Table) Reset() {
+	// Quiescence contract (see core.Table.Reset): the caller's own
+	// synchronization publishes these plain writes.
+	for i := range t.buckets {
+		t.buckets[i].head = nil
+	}
+	t.nodes.Reset()
+	t.nNodes.Store(0)
+	t.stats.Reset()
+}
+
 // ChainStats reports the load factor α = PTEs/buckets and the longest
 // chain; average successful search cost approaches 1 + α/2 (Table 2).
 func (t *Table) ChainStats() (alpha float64, maxChain int) {
@@ -272,4 +301,6 @@ func (t *Table) LookupBlock(vpbn addr.VPBN, logSBF uint) ([]pte.Entry, pagetable
 var (
 	_ pagetable.PageTable   = (*Table)(nil)
 	_ pagetable.BlockReader = (*Table)(nil)
+	_ pagetable.MemReporter = (*Table)(nil)
+	_ pagetable.Resetter    = (*Table)(nil)
 )

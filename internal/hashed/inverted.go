@@ -7,6 +7,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -21,11 +22,16 @@ type InvertedTable struct {
 	cfg    Config
 	frames int
 
-	mu      sync.RWMutex
-	anchors []int32 // hash → frame index, -1 empty
-	entries []invEntry
-	stats   pagetable.Stats
-	nMapped uint64
+	mu sync.RWMutex
+	// anchors is the fixed hash anchor table (the bucket-array analog);
+	// entries is the frame array, carved exact-size out of the arena so
+	// its measured bytes match the frames*24 the model charges.
+	anchors  []int32 // hash → frame index, -1 empty
+	entries  []invEntry
+	entriesH ptalloc.Handle
+	arena    *ptalloc.SliceArena[invEntry]
+	stats    pagetable.Stats
+	nMapped  uint64
 }
 
 type invEntry struct {
@@ -51,15 +57,22 @@ func NewInverted(cfg Config, frames int) (*InvertedTable, error) {
 		cfg:     cfg,
 		frames:  frames,
 		anchors: make([]int32, cfg.Buckets),
-		entries: make([]invEntry, frames),
+		arena:   ptalloc.NewSliceArena[invEntry](),
 	}
+	t.initLocked()
+	return t, nil
+}
+
+// initLocked (re)allocates the frame array from the arena and clears
+// the anchor table. Caller holds the write lock or is the constructor.
+func (t *InvertedTable) initLocked() {
+	t.entriesH, t.entries = t.arena.AllocExact(t.frames)
 	for i := range t.anchors {
 		t.anchors[i] = -1
 	}
 	for i := range t.entries {
 		t.entries[i].next = -1
 	}
-	return t, nil
 }
 
 // MustNewInverted is NewInverted for known-good configurations.
@@ -206,6 +219,26 @@ func (t *InvertedTable) Stats() pagetable.Stats {
 	return t.stats
 }
 
+// MemStats implements pagetable.MemReporter. The frame array is the
+// table's only growable storage; it is allocated exact-size, so
+// Payload.LiveBytes is frames * sizeof(invEntry) — the mapped and
+// unmapped portions of the model's PTEBytes+FixedBytes split combined.
+func (t *InvertedTable) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Payload: t.arena.Stats()}
+}
+
+// Reset implements pagetable.Resetter: the frame array is dropped via
+// arena reset and re-carved (the arena retains the buffer, so no new
+// allocation happens), then reinitialized.
+func (t *InvertedTable) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.arena.Reset()
+	t.initLocked()
+	t.nMapped = 0
+	t.stats = pagetable.Stats{}
+}
+
 // ReverseLookup returns the virtual page mapped to a frame — the
 // operation inverted tables exist to make O(1), used by page-replacement
 // daemons.
@@ -222,4 +255,8 @@ func (t *InvertedTable) ReverseLookup(ppn addr.PPN) (addr.VPN, bool) {
 	return ent.vpn, true
 }
 
-var _ pagetable.PageTable = (*InvertedTable)(nil)
+var (
+	_ pagetable.PageTable   = (*InvertedTable)(nil)
+	_ pagetable.MemReporter = (*InvertedTable)(nil)
+	_ pagetable.Resetter    = (*InvertedTable)(nil)
+)

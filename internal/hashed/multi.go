@@ -8,6 +8,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -31,6 +32,7 @@ const (
 type wordTable struct {
 	cfg     Config
 	buckets []wbucket
+	arena   *ptalloc.Arena[wnode]
 	mu      sync.Mutex
 	nNodes  uint64
 }
@@ -44,10 +46,26 @@ type wnode struct {
 	key  uint64
 	next *wnode
 	word pte.Word
+	h    ptalloc.Handle
 }
 
 func newWordTable(cfg Config) *wordTable {
-	return &wordTable{cfg: cfg, buckets: make([]wbucket, cfg.Buckets)}
+	return &wordTable{
+		cfg:     cfg,
+		buckets: make([]wbucket, cfg.Buckets),
+		arena:   ptalloc.NewArena[wnode](),
+	}
+}
+
+// reset drops every node via arena reset. Callers must be quiescent and
+// publish the reset through their own synchronization (see
+// core.Table.Reset), so the bucket heads are cleared with plain writes.
+func (t *wordTable) reset() {
+	for i := range t.buckets {
+		t.buckets[i].head = nil
+	}
+	t.arena.Reset()
+	t.nNodes = 0
 }
 
 func (t *wordTable) bucketFor(key uint64) *wbucket {
@@ -88,7 +106,8 @@ func (t *wordTable) insert(key uint64, w pte.Word) error {
 			return fmt.Errorf("%w: key %#x", pagetable.ErrAlreadyMapped, key)
 		}
 	}
-	nd := &wnode{key: key, word: w}
+	h, nd := t.arena.Alloc()
+	nd.key, nd.word, nd.h = key, w, h
 	nd.next, b.head = b.head, nd
 	t.mu.Lock()
 	t.nNodes++
@@ -102,11 +121,13 @@ func (t *wordTable) remove(key uint64) (pte.Word, bool) {
 	defer b.mu.Unlock()
 	for link := &b.head; *link != nil; link = &(*link).next {
 		if nd := *link; nd.key == key && nd.word.Valid() {
+			w := nd.word
 			*link = nd.next
+			t.arena.Free(nd.h)
 			t.mu.Lock()
 			t.nNodes--
 			t.mu.Unlock()
-			return nd.word, true
+			return w, true
 		}
 	}
 	return pte.Invalid, false
@@ -125,6 +146,7 @@ func (t *wordTable) update(key uint64, fn func(pte.Word) pte.Word) (visited int,
 			nw := fn(nd.word)
 			if !nw.Valid() {
 				*link = nd.next
+				t.arena.Free(nd.h)
 				t.mu.Lock()
 				t.nNodes--
 				t.mu.Unlock()
@@ -512,8 +534,27 @@ func (t *MultiTable) Stats() pagetable.Stats {
 	return t.stats
 }
 
+// MemStats implements pagetable.MemReporter: the sum of both per-size
+// tables' node arenas.
+func (t *MultiTable) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{
+		Nodes: t.base.arena.Stats().Add(t.super.arena.Stats()),
+	}
+}
+
+// Reset implements pagetable.Resetter.
+func (t *MultiTable) Reset() {
+	t.base.reset()
+	t.super.reset()
+	t.mu.Lock()
+	t.stats = pagetable.Stats{}
+	t.mu.Unlock()
+}
+
 var (
 	_ pagetable.PageTable       = (*MultiTable)(nil)
 	_ pagetable.SuperpageMapper = (*MultiTable)(nil)
 	_ pagetable.PartialMapper   = (*MultiTable)(nil)
+	_ pagetable.MemReporter     = (*MultiTable)(nil)
+	_ pagetable.Resetter        = (*MultiTable)(nil)
 )

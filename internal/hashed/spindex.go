@@ -7,6 +7,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -21,6 +22,7 @@ type SPIndexTable struct {
 	cfg     Config
 	logSBF  uint
 	buckets []sbucket
+	nodes   *ptalloc.Arena[snode]
 
 	mu     sync.Mutex
 	stats  pagetable.Stats
@@ -39,6 +41,15 @@ type snode struct {
 	vpbn    addr.VPBN // block number (always set; the hash key)
 	next    *snode
 	word    pte.Word
+	h       ptalloc.Handle
+}
+
+// allocNode carves a chain node from the arena. Caller holds the bucket
+// lock and links the node itself.
+func (t *SPIndexTable) allocNode(isBlock bool, vpn addr.VPN, vpbn addr.VPBN, w pte.Word) *snode {
+	h, nd := t.nodes.Alloc()
+	nd.isBlock, nd.vpn, nd.vpbn, nd.word, nd.h = isBlock, vpn, vpbn, w, h
+	return nd
 }
 
 // NewSPIndex creates a superpage-index hashed page table with page blocks
@@ -50,7 +61,12 @@ func NewSPIndex(cfg Config, logSBF uint) (*SPIndexTable, error) {
 	if logSBF == 0 || logSBF > 4 {
 		return nil, fmt.Errorf("hashed: sp-index block factor 1<<%d out of range", logSBF)
 	}
-	return &SPIndexTable{cfg: cfg, logSBF: logSBF, buckets: make([]sbucket, cfg.Buckets)}, nil
+	return &SPIndexTable{
+		cfg:     cfg,
+		logSBF:  logSBF,
+		buckets: make([]sbucket, cfg.Buckets),
+		nodes:   ptalloc.NewArena[snode](),
+	}, nil
 }
 
 // MustNewSPIndex is NewSPIndex for known-good configurations.
@@ -135,7 +151,7 @@ func (t *SPIndexTable) Map(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) error {
 			return fmt.Errorf("%w: vpn %#x covered by block PTE", pagetable.ErrAlreadyMapped, uint64(vpn))
 		}
 	}
-	nd := &snode{vpn: vpn, vpbn: vpbn, word: pte.MakeBase(ppn, attr)}
+	nd := t.allocNode(false, vpn, vpbn, pte.MakeBase(ppn, attr))
 	nd.next, b.head = b.head, nd
 	t.note(func(s *pagetable.Stats) { s.Inserts++ }, +1)
 	return nil
@@ -160,7 +176,7 @@ func (t *SPIndexTable) MapSuperpage(vpn addr.VPN, ppn addr.PPN, attr pte.Attr, s
 		vpbn := firstBlock + addr.VPBN(i)
 		b := t.bucketFor(vpbn)
 		b.mu.Lock()
-		nd := &snode{isBlock: true, vpbn: vpbn, word: word}
+		nd := t.allocNode(true, 0, vpbn, word)
 		nd.next, b.head = b.head, nd
 		b.mu.Unlock()
 		t.note(nil, +1)
@@ -179,7 +195,7 @@ func (t *SPIndexTable) MapPartial(vpbn addr.VPBN, basePPN addr.PPN, attr pte.Att
 	}
 	b := t.bucketFor(vpbn)
 	b.mu.Lock()
-	nd := &snode{isBlock: true, vpbn: vpbn, word: pte.MakePartial(basePPN, attr, valid, t.logSBF)}
+	nd := t.allocNode(true, 0, vpbn, pte.MakePartial(basePPN, attr, valid, t.logSBF))
 	nd.next, b.head = b.head, nd
 	b.mu.Unlock()
 	t.note(func(s *pagetable.Stats) { s.Inserts++ }, +1)
@@ -201,6 +217,7 @@ func (t *SPIndexTable) Unmap(vpn addr.VPN) error {
 		}
 		if !nd.isBlock && nd.vpn == vpn {
 			*link = nd.next
+			t.nodes.Free(nd.h)
 			t.note(func(s *pagetable.Stats) { s.Removes++ }, -1)
 			return nil
 		}
@@ -213,6 +230,7 @@ func (t *SPIndexTable) Unmap(vpn addr.VPN) error {
 				nw := nd.word.WithValidMask(nd.word.ValidMask() &^ (1 << boff))
 				if !nw.Valid() {
 					*link = nd.next
+					t.nodes.Free(nd.h)
 					t.note(func(s *pagetable.Stats) { s.Removes++ }, -1)
 					return nil
 				}
@@ -301,6 +319,24 @@ func (t *SPIndexTable) Stats() pagetable.Stats {
 	return t.stats
 }
 
+// MemStats implements pagetable.MemReporter: one arena object per chain
+// node (base, superpage replica, or psb word alike).
+func (t *SPIndexTable) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: t.nodes.Stats()}
+}
+
+// Reset implements pagetable.Resetter.
+func (t *SPIndexTable) Reset() {
+	// Quiescence contract (see core.Table.Reset): the caller's own
+	// synchronization publishes these plain writes.
+	for i := range t.buckets {
+		t.buckets[i].head = nil
+	}
+	t.nodes.Reset()
+	t.stats = pagetable.Stats{}
+	t.nNodes = 0
+}
+
 // ChainStats reports the load factor and the longest chain — the
 // quantity §4.2's objection to superpage-index hashing is about: one
 // 64KB region's base PTEs all share a bucket.
@@ -343,4 +379,6 @@ var (
 	_ pagetable.PageTable       = (*SPIndexTable)(nil)
 	_ pagetable.SuperpageMapper = (*SPIndexTable)(nil)
 	_ pagetable.PartialMapper   = (*SPIndexTable)(nil)
+	_ pagetable.MemReporter     = (*SPIndexTable)(nil)
+	_ pagetable.Resetter        = (*SPIndexTable)(nil)
 )

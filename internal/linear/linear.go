@@ -20,6 +20,7 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	"clusterpt/internal/ptalloc"
 	"clusterpt/internal/pte"
 )
 
@@ -95,10 +96,12 @@ func Levels(vaBits uint) int {
 	return n
 }
 
-// leafPage is one 4KB page of the PTE array.
+// leafPage is one 4KB page of the PTE array, carved from the table's
+// arena so its storage is measured rather than left to the Go heap.
 type leafPage struct {
 	words [entriesPerPage]pte.Word
 	count int // valid words
+	h     ptalloc.Handle
 }
 
 // Table is a multi-level linear page table.
@@ -109,6 +112,7 @@ type Table struct {
 	mu    sync.RWMutex
 	leaf  map[uint64]*leafPage // leaf page index (vpn>>9) → page
 	upper []map[uint64]int     // level i≥2: page index → child count
+	pages *ptalloc.Arena[leafPage]
 	stats pagetable.Counters
 }
 
@@ -123,6 +127,7 @@ func New(cfg Config) (*Table, error) {
 		levels: levels,
 		leaf:   make(map[uint64]*leafPage),
 		upper:  make([]map[uint64]int, levels-1),
+		pages:  ptalloc.NewArena[leafPage](),
 	}
 	for i := range t.upper {
 		t.upper[i] = make(map[uint64]int)
@@ -217,7 +222,8 @@ func (t *Table) ensureLeaf(vpn addr.VPN) *leafPage {
 	if ok {
 		return pg
 	}
-	pg = &leafPage{}
+	h, pg := t.pages.Alloc()
+	pg.h = h
 	t.leaf[idx] = pg
 	for lvl := 2; lvl <= t.levels; lvl++ {
 		t.upper[lvl-2][upperIndex(vpn, lvl)]++
@@ -229,6 +235,9 @@ func (t *Table) ensureLeaf(vpn addr.VPN) *leafPage {
 // childless. Caller holds the write lock.
 func (t *Table) releaseLeaf(vpn addr.VPN) {
 	idx := LeafPageIndex(vpn)
+	if pg, ok := t.leaf[idx]; ok {
+		t.pages.Free(pg.h)
+	}
 	delete(t.leaf, idx)
 	for lvl := 2; lvl <= t.levels; lvl++ {
 		ui := upperIndex(vpn, lvl)
@@ -366,9 +375,31 @@ func (t *Table) Stats() pagetable.Stats {
 	return t.stats.Snapshot()
 }
 
+// MemStats implements pagetable.MemReporter: one arena object per
+// populated leaf page. Directory levels are refcount maps (their pages
+// hold no PTEs here), so only the leaf level is measured; the analytical
+// Size() additionally charges 4KB per directory page.
+func (t *Table) MemStats() pagetable.MemStats {
+	return pagetable.MemStats{Nodes: t.pages.Stats()}
+}
+
+// Reset implements pagetable.Resetter.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.leaf)
+	for i := range t.upper {
+		clear(t.upper[i])
+	}
+	t.pages.Reset()
+	t.stats.Reset()
+}
+
 var (
 	_ pagetable.PageTable       = (*Table)(nil)
 	_ pagetable.SuperpageMapper = (*Table)(nil)
 	_ pagetable.PartialMapper   = (*Table)(nil)
 	_ pagetable.BlockReader     = (*Table)(nil)
+	_ pagetable.MemReporter     = (*Table)(nil)
+	_ pagetable.Resetter        = (*Table)(nil)
 )

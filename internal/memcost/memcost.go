@@ -5,7 +5,10 @@
 // on a cache-line boundary.
 package memcost
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // DefaultLineSize is the 256-byte level-two cache line assumed in §6.1.
 const DefaultLineSize = 256
@@ -48,11 +51,21 @@ type Meter struct {
 	refs  int
 }
 
+// touchMaskLines is how many line indices the Touch fast path tracks in
+// its stack bitmask. Page-table nodes are at most a few cache lines, so
+// any index under 256 — every real walk — stays allocation-free.
+const touchMaskLines = 256
+
 // Touch records an access to byte ranges of one object (each range is
 // {off, len}). Distinct objects require distinct Touch calls because each
 // object starts on its own line boundary.
+//
+// Touch runs on every simulated memory reference of every walk, so it
+// must not allocate: lines are deduplicated in a fixed bitmask on the
+// stack, spilling to a map only for offsets ≥ touchMaskLines·LineSize.
 func (c *Meter) Touch(m Model, ranges ...[2]int) {
-	seen := map[int]bool{}
+	var seen [touchMaskLines / 64]uint64
+	var far map[int]bool // overflow dedupe, nil on the fast path
 	for _, r := range ranges {
 		off, length := r[0], r[1]
 		if length <= 0 {
@@ -62,10 +75,21 @@ func (c *Meter) Touch(m Model, ranges ...[2]int) {
 		first := off / m.LineSize
 		last := (off + length - 1) / m.LineSize
 		for l := first; l <= last; l++ {
-			seen[l] = true
+			if l >= 0 && l < touchMaskLines {
+				seen[l>>6] |= 1 << (l & 63)
+				continue
+			}
+			if far == nil {
+				far = map[int]bool{}
+			}
+			far[l] = true
 		}
 	}
-	c.lines += len(seen)
+	n := len(far)
+	for _, w := range seen {
+		n += bits.OnesCount64(w)
+	}
+	c.lines += n
 }
 
 // AddLines records n whole-line accesses directly; used by models that

@@ -1,0 +1,62 @@
+package memcost
+
+import "testing"
+
+// TestTouchBitmaskOverflow exercises the spill path: line indices at and
+// beyond touchMaskLines must still deduplicate exactly like the bitmask
+// region, including ranges straddling the boundary.
+func TestTouchBitmaskOverflow(t *testing.T) {
+	m := NewModel(256)
+	var c Meter
+	// Two ranges far past the mask hitting the same line, one in-mask
+	// range, and one range straddling the mask boundary (two lines: one
+	// masked, one spilled).
+	farOff := touchMaskLines * 256
+	c.Touch(m,
+		[2]int{farOff + 300*256, 8},
+		[2]int{farOff + 300*256 + 8, 8},
+		[2]int{0, 8},
+		[2]int{touchMaskLines*256 - 8, 16},
+	)
+	// Lines: far line (dedup'd), line 0, line touchMaskLines-1, line
+	// touchMaskLines.
+	if got := c.Lines(); got != 4 {
+		t.Errorf("Lines() = %d, want 4", got)
+	}
+	if got := c.Refs(); got != 4 {
+		t.Errorf("Refs() = %d, want 4", got)
+	}
+}
+
+// TestTouchNegativeOffsetSpills guards the mask bounds check: a negative
+// offset must not index the bitmask (it spills to the map instead).
+// Truncating division makes {-256, 8} span lines −1 and 0; the duplicate
+// range must dedupe against both, exactly as the map-only version did.
+func TestTouchNegativeOffsetSpills(t *testing.T) {
+	m := NewModel(256)
+	var c Meter
+	c.Touch(m, [2]int{-256, 8}, [2]int{-256, 8})
+	if got := c.Lines(); got != 2 {
+		t.Errorf("Lines() = %d, want 2", got)
+	}
+}
+
+// BenchmarkMeterTouch pins the walk hot path at zero allocations: Touch
+// is called for every node of every simulated TLB-miss walk, and a
+// per-call map allocation used to dominate the harness profile.
+func BenchmarkMeterTouch(b *testing.B) {
+	m := NewModel(256)
+	var c Meter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		// A clustered-table walk shape: tag+next then a PTE word run.
+		c.Touch(m, [2]int{0, 16}, [2]int{16, 128})
+		c.Touch(m, [2]int{0, 16}, [2]int{16, 8})
+	}
+	if testing.AllocsPerRun(100, func() {
+		c.Touch(m, [2]int{0, 16}, [2]int{256, 64})
+	}) != 0 {
+		b.Fatal("Touch allocates on the fast path")
+	}
+}

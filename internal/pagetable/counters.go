@@ -36,6 +36,16 @@ func (c *Counters) NoteInsert() { c.inserts.Add(1) }
 // NoteRemove counts one successful unmap operation.
 func (c *Counters) NoteRemove() { c.removes.Add(1) }
 
+// Reset zeroes all counters, returning a pooled table's instrumentation
+// to its just-constructed state. Callers must be quiesced: Reset is not
+// atomic across fields.
+func (c *Counters) Reset() {
+	c.lookups.Store(0)
+	c.lookupFails.Store(0)
+	c.inserts.Store(0)
+	c.removes.Store(0)
+}
+
 // Snapshot materializes the counters as a Stats value.
 func (c *Counters) Snapshot() Stats {
 	return Stats{

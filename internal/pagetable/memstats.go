@@ -1,0 +1,54 @@
+package pagetable
+
+import "clusterpt/internal/ptalloc"
+
+// MemStats is measured page-table memory: the occupancy of the arenas
+// (internal/ptalloc) a table allocates its storage from, as opposed to
+// the analytical byte charges of Size(). Size() reports what the
+// paper's §6.2 model says the organization *should* cost; MemStats
+// reports what the Go representation actually holds, split into the
+// fixed-size node arena and the variable-length payload arena. The two
+// accountings are tied together by exact per-organization relations
+// (e.g. a clustered table's payload bytes equal Size().PTEBytes minus
+// the 16-byte header charge per node) enforced by test.
+type MemStats struct {
+	// Nodes covers fixed-size node objects: hash nodes, tree nodes,
+	// leaf pages.
+	Nodes ptalloc.Stats
+	// Payload covers variable-length runs hanging off nodes: PTE word
+	// vectors, per-level entry arrays, the inverted table's frame array.
+	Payload ptalloc.Stats
+}
+
+// LiveBytes is the total live bytes across both arenas.
+func (m MemStats) LiveBytes() uint64 { return m.Nodes.LiveBytes + m.Payload.LiveBytes }
+
+// SlabBytes is the total slab bytes held across both arenas.
+func (m MemStats) SlabBytes() uint64 { return m.Nodes.SlabBytes + m.Payload.SlabBytes }
+
+// LiveObjects is the total live allocations across both arenas.
+func (m MemStats) LiveObjects() uint64 { return m.Nodes.LiveObjects + m.Payload.LiveObjects }
+
+// Add returns the field-wise sum, for merging multi-tier tables.
+func (m MemStats) Add(o MemStats) MemStats {
+	return MemStats{Nodes: m.Nodes.Add(o.Nodes), Payload: m.Payload.Add(o.Payload)}
+}
+
+// MemReporter is implemented by organizations whose storage is
+// arena-backed. All organizations in this repository implement it; it
+// is an extension interface rather than a PageTable method so external
+// or test implementations of PageTable remain valid.
+type MemReporter interface {
+	// MemStats reports current arena occupancy.
+	MemStats() MemStats
+}
+
+// Resetter is implemented by organizations that can tear down every
+// mapping in O(1) via arena reset, returning the table to its
+// just-constructed state while retaining slab memory for reuse. The
+// experiment engine pools tables across cells through this interface.
+type Resetter interface {
+	// Reset unmaps everything and rewinds the arenas. Outstanding node
+	// pointers and handles become invalid.
+	Reset()
+}

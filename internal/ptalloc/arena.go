@@ -1,0 +1,134 @@
+package ptalloc
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// slab sizing: slabs hold a power-of-two number of objects chosen so one
+// slab is roughly targetSlabBytes, clamped so tiny objects do not make
+// enormous slabs and page-sized objects still share a slab.
+const (
+	targetSlabBytes = 64 << 10
+	minSlabShift    = 3  // at least 8 objects per slab
+	maxSlabShift    = 12 // at most 4096 objects per slab
+)
+
+func slabShiftFor(elemBytes uintptr) uint {
+	if elemBytes == 0 {
+		elemBytes = 1
+	}
+	shift := uint(minSlabShift)
+	for shift < maxSlabShift && (uintptr(1)<<(shift+1))*elemBytes <= targetSlabBytes {
+		shift++
+	}
+	return shift
+}
+
+// Arena is a slab allocator for fixed-size objects of type T. Slabs are
+// append-only and never reallocated, so the *T returned by Alloc is
+// stable until the object is freed or the arena reset. See the package
+// comment for the handle and epoch scheme.
+type Arena[T any] struct {
+	mu        sync.Mutex
+	slabShift uint
+	slabMask  uint32
+	elemBytes uint64
+	slabs     [][]T
+	meta      [][]slotMeta
+	free      []uint32 // slot indices freed in the current epoch
+	next      uint32   // bump pointer: slots handed out this epoch
+	epoch     uint32
+	stats     statCells
+}
+
+// NewArena returns an empty arena for objects of type T.
+func NewArena[T any]() *Arena[T] {
+	var zero T
+	shift := slabShiftFor(unsafe.Sizeof(zero))
+	return &Arena[T]{
+		slabShift: shift,
+		slabMask:  uint32(1)<<shift - 1,
+		elemBytes: uint64(unsafe.Sizeof(zero)),
+	}
+}
+
+// Alloc returns a handle and a pointer to a zeroed object. The pointer
+// stays valid until Free(h) or Reset.
+func (a *Arena[T]) Alloc() (Handle, *T) {
+	a.mu.Lock()
+	var idx uint32
+	if n := len(a.free); n > 0 {
+		idx = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		idx = a.next
+		a.next++
+		if int(idx>>a.slabShift) == len(a.slabs) {
+			a.slabs = append(a.slabs, make([]T, 1<<a.slabShift))
+			a.meta = append(a.meta, make([]slotMeta, 1<<a.slabShift))
+			a.stats.slabBytes.Add(uint64(1<<a.slabShift) * a.elemBytes)
+		}
+	}
+	gen := a.meta[idx>>a.slabShift][idx&a.slabMask].advance(a.epoch)
+	p := &a.slabs[idx>>a.slabShift][idx&a.slabMask]
+	var zero T
+	*p = zero
+	a.stats.liveObjects.Add(1)
+	a.stats.liveBytes.Add(a.elemBytes)
+	a.stats.allocs.Add(1)
+	a.mu.Unlock()
+	return Handle{idx: idx, gen: gen}, p
+}
+
+// Get resolves a handle to its object, or nil if the handle is nil,
+// stale (freed, or issued before the last Reset), or foreign.
+func (a *Arena[T]) Get(h Handle) *T {
+	if h.IsZero() {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(h.idx>>a.slabShift) >= len(a.slabs) {
+		return nil
+	}
+	if !a.meta[h.idx>>a.slabShift][h.idx&a.slabMask].matches(h.gen, a.epoch) {
+		return nil
+	}
+	return &a.slabs[h.idx>>a.slabShift][h.idx&a.slabMask]
+}
+
+// Free returns the object to the arena. It panics on a nil, stale or
+// double-freed handle: an invalid free is a table-invariant violation,
+// not a recoverable condition.
+func (a *Arena[T]) Free(h Handle) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.IsZero() || int(h.idx>>a.slabShift) >= len(a.slabs) ||
+		!a.meta[h.idx>>a.slabShift][h.idx&a.slabMask].matches(h.gen, a.epoch) {
+		panic("ptalloc: Free of invalid handle (double free, stale handle, or foreign arena)")
+	}
+	a.meta[h.idx>>a.slabShift][h.idx&a.slabMask].gen++
+	a.free = append(a.free, h.idx)
+	sub(&a.stats.liveObjects, 1)
+	sub(&a.stats.liveBytes, a.elemBytes)
+	a.stats.frees.Add(1)
+}
+
+// Reset frees every live object in O(1): the epoch bump invalidates all
+// outstanding handles, the free list is truncated and the bump pointer
+// rewound. Slabs are retained, so a reset arena refills without
+// allocating.
+func (a *Arena[T]) Reset() {
+	a.mu.Lock()
+	a.epoch++
+	a.next = 0
+	a.free = a.free[:0]
+	a.stats.liveObjects.Store(0)
+	a.stats.liveBytes.Store(0)
+	a.stats.resets.Add(1)
+	a.mu.Unlock()
+}
+
+// Stats returns a lock-free snapshot of the arena's occupancy.
+func (a *Arena[T]) Stats() Stats { return a.stats.snapshot() }

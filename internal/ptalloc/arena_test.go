@@ -1,0 +1,289 @@
+package ptalloc
+
+import (
+	"testing"
+	"unsafe"
+)
+
+type testNode struct {
+	a, b uint64
+	next *testNode
+}
+
+func TestArenaAllocFreeReuse(t *testing.T) {
+	a := NewArena[testNode]()
+	h1, p1 := a.Alloc()
+	h2, p2 := a.Alloc()
+	if h1 == h2 {
+		t.Fatalf("distinct allocations share handle %v", h1)
+	}
+	if p1 == p2 {
+		t.Fatalf("distinct allocations share slot")
+	}
+	p1.a = 1
+	p2.a = 2
+	if got := a.Get(h1); got != p1 || got.a != 1 {
+		t.Fatalf("Get(h1) = %p, want %p with a=1", got, p1)
+	}
+
+	a.Free(h1)
+	if got := a.Get(h1); got != nil {
+		t.Fatalf("Get of freed handle returned %p, want nil", got)
+	}
+	h3, p3 := a.Alloc()
+	if p3 != p1 {
+		t.Fatalf("freed slot not reused: got %p, want %p", p3, p1)
+	}
+	if h3 == h1 {
+		t.Fatalf("reused slot kept old generation")
+	}
+	if p3.a != 0 || p3.next != nil {
+		t.Fatalf("reused slot not zeroed: %+v", *p3)
+	}
+	if a.Get(h1) != nil {
+		t.Fatalf("stale handle validates after slot reuse")
+	}
+}
+
+func TestArenaPointerStability(t *testing.T) {
+	a := NewArena[testNode]()
+	var first *testNode
+	// Force several slab appends and check the first pointer survives.
+	for i := 0; i < 10000; i++ {
+		_, p := a.Alloc()
+		p.a = uint64(i)
+		if i == 0 {
+			first = p
+		}
+	}
+	if first.a != 0 {
+		t.Fatalf("first object clobbered: a=%d", first.a)
+	}
+	st := a.Stats()
+	if st.LiveObjects != 10000 {
+		t.Fatalf("LiveObjects = %d, want 10000", st.LiveObjects)
+	}
+	want := 10000 * uint64(unsafe.Sizeof(testNode{}))
+	if st.LiveBytes != want {
+		t.Fatalf("LiveBytes = %d, want %d", st.LiveBytes, want)
+	}
+	if st.SlabBytes < st.LiveBytes {
+		t.Fatalf("SlabBytes %d < LiveBytes %d", st.SlabBytes, st.LiveBytes)
+	}
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	a := NewArena[testNode]()
+	h, _ := a.Alloc()
+	a.Free(h)
+	mustPanic(t, "double free", func() { a.Free(h) })
+	mustPanic(t, "nil free", func() { a.Free(Handle{}) })
+}
+
+func TestArenaResetInvalidatesHandles(t *testing.T) {
+	a := NewArena[testNode]()
+	var handles []Handle
+	for i := 0; i < 100; i++ {
+		h, _ := a.Alloc()
+		handles = append(handles, h)
+	}
+	a.Free(handles[7]) // leave a free-list entry behind for Reset to drop
+	slabsBefore := a.Stats().SlabBytes
+
+	a.Reset()
+	st := a.Stats()
+	if st.LiveObjects != 0 || st.LiveBytes != 0 {
+		t.Fatalf("after Reset: %d objects / %d bytes live", st.LiveObjects, st.LiveBytes)
+	}
+	if st.SlabBytes != slabsBefore {
+		t.Fatalf("Reset changed SlabBytes %d -> %d (slabs must be retained)", slabsBefore, st.SlabBytes)
+	}
+	if st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+	for _, h := range handles {
+		if a.Get(h) != nil {
+			t.Fatalf("pre-reset handle %v validates after Reset", h)
+		}
+	}
+	mustPanic(t, "free of pre-reset handle", func() { a.Free(handles[0]) })
+
+	// Refill: no new slab growth, fresh handles, zeroed slots.
+	for i := 0; i < 100; i++ {
+		h, p := a.Alloc()
+		if p.a != 0 {
+			t.Fatalf("slot %d not zeroed after reset reuse", i)
+		}
+		if h == handles[i] {
+			t.Fatalf("post-reset alloc %d reissued pre-reset handle", i)
+		}
+	}
+	if got := a.Stats().SlabBytes; got != slabsBefore {
+		t.Fatalf("refill grew slabs %d -> %d", slabsBefore, got)
+	}
+}
+
+func TestSliceArenaClasses(t *testing.T) {
+	a := NewSliceArena[uint64]()
+	sizes := []int{1, 2, 3, 16, 64, 100, 512}
+	type allocation struct {
+		h Handle
+		s []uint64
+		n int
+	}
+	var allocs []allocation
+	for _, n := range sizes {
+		h, s := a.Alloc(n)
+		if len(s) != n {
+			t.Fatalf("Alloc(%d) returned len %d", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("Alloc(%d) not zeroed at %d", n, i)
+			}
+			s[i] = uint64(n)
+		}
+		allocs = append(allocs, allocation{h, s, n})
+	}
+	// Every run keeps its contents: no overlap between allocations.
+	for _, al := range allocs {
+		for i := range al.s {
+			if al.s[i] != uint64(al.n) {
+				t.Fatalf("run of size %d clobbered at %d: %d", al.n, i, al.s[i])
+			}
+		}
+	}
+	// Class rounding: live bytes count the rounded run, not the request.
+	var want uint64
+	for _, n := range sizes {
+		want += uint64(1) << classFor(n) * 8
+	}
+	if st := a.Stats(); st.LiveBytes != want {
+		t.Fatalf("LiveBytes = %d, want %d (class-rounded)", st.LiveBytes, want)
+	}
+	for _, al := range allocs {
+		a.Free(al.h)
+	}
+	if st := a.Stats(); st.LiveBytes != 0 || st.LiveObjects != 0 {
+		t.Fatalf("after freeing all: %+v", st)
+	}
+}
+
+func TestSliceArenaAppendStaysInRun(t *testing.T) {
+	a := NewSliceArena[uint64]()
+	h1, s1 := a.Alloc(3) // class 2: cap 4
+	_, s2 := a.Alloc(3)
+	if cap(s1) != 4 {
+		t.Fatalf("cap = %d, want class run 4", cap(s1))
+	}
+	s1 = append(s1, 99) // fills the run; must not touch s2
+	_ = s1
+	if s2[0] != 0 {
+		t.Fatalf("append into neighboring run: s2[0] = %d", s2[0])
+	}
+	a.Free(h1)
+}
+
+func TestSliceArenaHugePath(t *testing.T) {
+	a := NewSliceArena[uint64]()
+	n := (1 << maxSliceClass) + 1
+	h, s := a.Alloc(n)
+	if len(s) != n {
+		t.Fatalf("huge Alloc(%d) returned len %d", n, len(s))
+	}
+	st := a.Stats()
+	if st.LiveBytes != uint64(n)*8 {
+		t.Fatalf("huge LiveBytes = %d, want %d (exact, not rounded)", st.LiveBytes, uint64(n)*8)
+	}
+	s[0], s[n-1] = 1, 2
+	if got := a.Get(h); len(got) != n || got[0] != 1 || got[n-1] != 2 {
+		t.Fatalf("huge Get mismatch")
+	}
+	a.Free(h)
+	mustPanic(t, "huge double free", func() { a.Free(h) })
+	if a.Get(h) != nil {
+		t.Fatalf("freed huge handle validates")
+	}
+
+	// The buffer is retained: an equal-size huge request reuses it.
+	slabs := a.Stats().SlabBytes
+	h2, s2 := a.Alloc(n)
+	if len(s2) != n || s2[0] != 0 {
+		t.Fatalf("huge reuse: len %d, s2[0]=%d", len(s2), s2[0])
+	}
+	if got := a.Stats().SlabBytes; got != slabs {
+		t.Fatalf("huge reuse grew slabs %d -> %d", slabs, got)
+	}
+	a.Free(h2)
+}
+
+func TestSliceArenaReset(t *testing.T) {
+	a := NewSliceArena[uint64]()
+	var hs []Handle
+	for i := 0; i < 50; i++ {
+		h, _ := a.Alloc(16)
+		hs = append(hs, h)
+	}
+	bh, _ := a.Alloc((1 << maxSliceClass) + 5)
+	slabs := a.Stats().SlabBytes
+	a.Reset()
+	if st := a.Stats(); st.LiveBytes != 0 || st.LiveObjects != 0 || st.SlabBytes != slabs {
+		t.Fatalf("after Reset: %+v (slabs before: %d)", st, slabs)
+	}
+	for _, h := range hs {
+		if a.Get(h) != nil {
+			t.Fatalf("class handle validates after Reset")
+		}
+	}
+	if a.Get(bh) != nil {
+		t.Fatalf("huge handle validates after Reset")
+	}
+	for i := 0; i < 50; i++ {
+		if _, s := a.Alloc(16); s[0] != 0 {
+			t.Fatalf("reused run not zeroed")
+		}
+	}
+	if got := a.Stats().SlabBytes; got != slabs {
+		t.Fatalf("refill grew slabs %d -> %d", slabs, got)
+	}
+}
+
+func TestSliceArenaBadAlloc(t *testing.T) {
+	a := NewSliceArena[uint64]()
+	mustPanic(t, "Alloc(0)", func() { a.Alloc(0) })
+	mustPanic(t, "Alloc(-1)", func() { a.Alloc(-1) })
+}
+
+func TestFragmentation(t *testing.T) {
+	if f := (Stats{}).Fragmentation(); f != 0 {
+		t.Fatalf("empty Fragmentation = %v, want 0", f)
+	}
+	a := NewArena[testNode]()
+	h, _ := a.Alloc()
+	if f := a.Stats().Fragmentation(); f < 0 || f >= 1 {
+		t.Fatalf("Fragmentation = %v, want [0,1)", f)
+	}
+	a.Free(h)
+	if f := a.Stats().Fragmentation(); f != 1 {
+		t.Fatalf("all-free Fragmentation = %v, want 1", f)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	s := Stats{LiveBytes: 1, SlabBytes: 2, LiveObjects: 3, Allocs: 4, Frees: 5, Resets: 6}
+	got := s.Add(s)
+	want := Stats{LiveBytes: 2, SlabBytes: 4, LiveObjects: 6, Allocs: 8, Frees: 10, Resets: 12}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

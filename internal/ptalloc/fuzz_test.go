@@ -1,0 +1,155 @@
+package ptalloc
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// FuzzArenaOps drives an Arena and a SliceArena with an arbitrary
+// alloc/free/reset sequence and checks them against a reference model:
+// valid frees succeed, invalid frees (double free, stale epoch) panic,
+// Get validates exactly the live handles, and Stats matches the model's
+// byte and object counts after every operation.
+func FuzzArenaOps(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 5, 1, 10, 2, 0, 3, 200})
+	f.Add([]byte{3, 1, 3, 16, 4, 0, 4, 0, 2})
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 1, 2, 2, 0, 3, 255, 3, 63, 4, 3, 2, 3, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		arena := NewArena[testNode]()
+		slices := NewSliceArena[uint64]()
+		elem := uint64(unsafe.Sizeof(testNode{}))
+
+		// Reference model: every handle ever issued, with its live size
+		// (0 = freed or invalidated by reset).
+		type issued struct {
+			h     Handle
+			bytes uint64 // model bytes while live
+			slice bool
+		}
+		var all []issued
+		live := map[int]bool{} // index into all -> live
+
+		check := func(what string) {
+			t.Helper()
+			var wantObjs, wantArenaB, wantSliceB uint64
+			for i, is := range all {
+				if !live[i] {
+					continue
+				}
+				wantObjs++
+				if is.slice {
+					wantSliceB += is.bytes
+				} else {
+					wantArenaB += is.bytes
+				}
+			}
+			as, ss := arena.Stats(), slices.Stats()
+			if as.LiveBytes != wantArenaB {
+				t.Fatalf("%s: arena LiveBytes = %d, model %d", what, as.LiveBytes, wantArenaB)
+			}
+			if ss.LiveBytes != wantSliceB {
+				t.Fatalf("%s: slice LiveBytes = %d, model %d", what, ss.LiveBytes, wantSliceB)
+			}
+			if as.LiveObjects+ss.LiveObjects != wantObjs {
+				t.Fatalf("%s: LiveObjects = %d+%d, model %d", what, as.LiveObjects, ss.LiveObjects, wantObjs)
+			}
+			if as.SlabBytes < as.LiveBytes || ss.SlabBytes < ss.LiveBytes {
+				t.Fatalf("%s: slab bytes below live bytes", what)
+			}
+		}
+
+		pick := func(b byte) (int, bool) {
+			if len(all) == 0 {
+				return 0, false
+			}
+			return int(b) % len(all), true
+		}
+
+		for i := 0; i < len(ops); {
+			op := ops[i] % 5
+			i++
+			arg := byte(0)
+			if op != 2 {
+				if i >= len(ops) {
+					break
+				}
+				arg = ops[i]
+				i++
+			}
+			switch op {
+			case 0: // arena alloc
+				h, p := arena.Alloc()
+				if p == nil || p.a != 0 || p.next != nil {
+					t.Fatalf("arena Alloc returned dirty or nil slot")
+				}
+				all = append(all, issued{h: h, bytes: elem})
+				live[len(all)-1] = true
+			case 3: // slice alloc of 1..256 elements
+				n := int(arg) + 1
+				h, s := slices.Alloc(n)
+				if len(s) != n {
+					t.Fatalf("slice Alloc(%d) len %d", n, len(s))
+				}
+				for j := range s {
+					if s[j] != 0 {
+						t.Fatalf("slice Alloc(%d) dirty at %d", n, j)
+					}
+				}
+				all = append(all, issued{h: h, bytes: uint64(1) << classFor(n) * 8, slice: true})
+				live[len(all)-1] = true
+			case 1, 4: // free an arena (1) or slice (4) handle, valid or not
+				k, ok := pick(arg)
+				if !ok {
+					continue
+				}
+				is := all[k]
+				valid := live[k]
+				var freeFn func()
+				var getNil bool
+				if is.slice {
+					freeFn = func() { slices.Free(is.h) }
+					getNil = slices.Get(is.h) == nil
+				} else {
+					freeFn = func() { arena.Free(is.h) }
+					getNil = arena.Get(is.h) == nil
+				}
+				if valid == getNil {
+					t.Fatalf("Get validity %v != model liveness %v", !getNil, valid)
+				}
+				if valid {
+					freeFn()
+					live[k] = false
+				} else if !panics(freeFn) {
+					t.Fatalf("invalid Free did not panic (handle %v)", is.h)
+				}
+			case 2: // reset both
+				arena.Reset()
+				slices.Reset()
+				for k := range live {
+					live[k] = false
+				}
+			}
+			check("after op")
+		}
+
+		// Epilogue: every stale handle must fail Get on its own arena.
+		for k, is := range all {
+			if live[k] {
+				continue
+			}
+			if is.slice {
+				if slices.Get(is.h) != nil {
+					t.Fatalf("stale slice handle %v validates", is.h)
+				}
+			} else if arena.Get(is.h) != nil {
+				t.Fatalf("stale arena handle %v validates", is.h)
+			}
+		}
+	})
+}
+
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}

@@ -1,0 +1,141 @@
+// Package ptalloc is the typed slab/arena storage layer every page-table
+// organization allocates its nodes from (ISSUE 4). It replaces the bare
+// make/new sites that used to scatter node storage across the heap with
+// two allocators:
+//
+//   - Arena[T]: fixed-size objects (hash nodes, tree nodes, leaf pages)
+//     carved out of append-only slabs. Slabs are never reallocated, so
+//     *T pointers handed out by Alloc stay valid for the object's whole
+//     lifetime — organizations keep their ordinary Go pointer links for
+//     traversal and store the Handle only to free.
+//   - SliceArena[T]: variable-length payload runs (PTE word vectors,
+//     entry arrays) in power-of-two size classes, with an exact-size
+//     "huge" path for runs above the largest class.
+//
+// Both allocators share the same safety scheme. Every slot carries a
+// generation counter whose parity encodes liveness (odd = live, even =
+// free) and the epoch it was last touched in. A Handle records the slot
+// index and the generation it was allocated with; Get returns nil and
+// Free panics unless the slot's generation and epoch still match, so
+// use-after-free and double-free are caught instead of silently
+// corrupting a neighboring allocation.
+//
+// Reset tears a whole table down in O(1): it bumps the arena epoch,
+// truncates the free list and rewinds the bump pointer. Slabs are
+// retained for reuse — this is what lets the experiment engine pool
+// tables across cells without churning the garbage collector — and
+// every handle issued before the Reset fails the epoch check.
+//
+// Mutating operations take the arena mutex (organizations with
+// per-bucket locks still share one arena per table, so bucket locks do
+// not cover cross-bucket arena state); the Stats block is maintained
+// with atomics so MemStats reporting never blocks the allocator.
+package ptalloc
+
+import "sync/atomic"
+
+// Handle is a stable reference to one arena slot: the slot index plus
+// the generation the slot was allocated with. The zero Handle is nil.
+// Handles are only meaningful to the arena that issued them; freeing a
+// handle through a different arena is caught by the generation check
+// (with high probability, not certainty — arenas do not embed an
+// identity tag).
+type Handle struct {
+	idx uint32
+	gen uint32
+}
+
+// IsZero reports whether h is the nil handle.
+func (h Handle) IsZero() bool { return h == Handle{} }
+
+// Stats is a point-in-time snapshot of one arena's occupancy.
+type Stats struct {
+	// LiveBytes is the bytes currently allocated: object bytes for
+	// Arena, size-class-rounded run bytes for SliceArena.
+	LiveBytes uint64
+	// SlabBytes is the bytes of backing slabs the arena holds, live or
+	// not. Slabs are retained across Free and Reset.
+	SlabBytes uint64
+	// LiveObjects is the number of live allocations.
+	LiveObjects uint64
+	// Allocs, Frees and Resets count operations over the arena's
+	// lifetime (Reset does not rewind them).
+	Allocs, Frees, Resets uint64
+}
+
+// Fragmentation is the fraction of slab memory not backing a live
+// allocation: 0 for a fully packed arena, approaching 1 after a Reset
+// leaves the slabs empty.
+func (s Stats) Fragmentation() float64 {
+	if s.SlabBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.LiveBytes)/float64(s.SlabBytes)
+}
+
+// Add returns the field-wise sum of two snapshots, for merging the
+// arenas of a multi-tier table into one report.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		LiveBytes:   s.LiveBytes + o.LiveBytes,
+		SlabBytes:   s.SlabBytes + o.SlabBytes,
+		LiveObjects: s.LiveObjects + o.LiveObjects,
+		Allocs:      s.Allocs + o.Allocs,
+		Frees:       s.Frees + o.Frees,
+		Resets:      s.Resets + o.Resets,
+	}
+}
+
+// statCells is the atomic backing for Stats. Mutations happen under the
+// arena mutex; reads are lock-free.
+type statCells struct {
+	liveBytes, slabBytes, liveObjects atomic.Uint64
+	allocs, frees, resets             atomic.Uint64
+}
+
+func (c *statCells) snapshot() Stats {
+	return Stats{
+		LiveBytes:   c.liveBytes.Load(),
+		SlabBytes:   c.slabBytes.Load(),
+		LiveObjects: c.liveObjects.Load(),
+		Allocs:      c.allocs.Load(),
+		Frees:       c.frees.Load(),
+		Resets:      c.resets.Load(),
+	}
+}
+
+// sub subtracts n from an unsigned atomic (two's-complement add).
+func sub(cell *atomic.Uint64, n uint64) { cell.Add(^(n - 1)) }
+
+// slotMeta is the per-slot liveness record: the generation (odd = live)
+// and the epoch the slot was last allocated in. A handle is valid only
+// when both match the arena's current state. Generation wraparound at
+// 2^32 could in principle revalidate an ancient handle; at one alloc/free
+// pair per wrap step that is ~2^31 lifetimes of a single slot and is
+// ignored.
+type slotMeta struct {
+	gen   uint32
+	epoch uint32
+}
+
+// live reports whether the slot holds a live allocation in epoch.
+func (m slotMeta) live(epoch uint32) bool { return m.epoch == epoch && m.gen%2 == 1 }
+
+// matches reports whether a handle generation addresses the live
+// allocation in this slot.
+func (m slotMeta) matches(gen, epoch uint32) bool {
+	return m.epoch == epoch && m.gen == gen && gen%2 == 1
+}
+
+// advance moves the slot to a fresh live generation in epoch, closing
+// out any lifetime left open by a Reset (a pre-reset odd generation).
+func (m *slotMeta) advance(epoch uint32) uint32 {
+	if m.epoch != epoch {
+		m.epoch = epoch
+		if m.gen%2 == 1 {
+			m.gen++
+		}
+	}
+	m.gen++
+	return m.gen
+}

@@ -1,0 +1,245 @@
+package ptalloc
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// Handle layout for slice arenas: the top five bits of the slot index
+// carry the size class, the rest the slot within the class. Class 31 is
+// the exact-size huge path.
+const (
+	classShift    = 27
+	classSlotMask = 1<<classShift - 1
+	hugeClass     = 31
+	// maxSliceClass is the largest power-of-two class (runs of 65536
+	// elements); longer runs take the huge path.
+	maxSliceClass = 16
+)
+
+// classFor returns the smallest c with 1<<c >= n.
+func classFor(n int) uint {
+	return uint(bits.Len(uint(n - 1)))
+}
+
+// sliceClass is one power-of-two size class: slabs of runsPerSlab
+// contiguous runs of 1<<class elements each.
+type sliceClass[T any] struct {
+	runLen      uint32
+	runsPerSlab uint32
+	slabs       [][]T
+	meta        [][]slotMeta
+	free        []uint32
+	next        uint32
+}
+
+// hugeSlot is one exact-size allocation. The buffer is retained across
+// Free and Reset and reused when a later request fits its capacity.
+type hugeSlot[T any] struct {
+	buf   []T
+	liveB uint64
+	meta  slotMeta
+}
+
+// SliceArena allocates variable-length runs of T in power-of-two size
+// classes. Every slice size the page-table organizations use (single
+// PTE words, subblock vectors of 2–64, level arrays of 16 or 256) is
+// itself a power of two, so class rounding is exact for them and
+// LiveBytes equals the bytes the analytical model charges for payload.
+// Requests above the largest class get an exact-size buffer.
+type SliceArena[T any] struct {
+	mu        sync.Mutex
+	elemBytes uint64
+	classes   [maxSliceClass + 1]sliceClass[T]
+	huge      []hugeSlot[T]
+	hugeFree  []uint32
+	hugeNext  uint32
+	epoch     uint32
+	stats     statCells
+}
+
+// NewSliceArena returns an empty slice arena for element type T.
+func NewSliceArena[T any]() *SliceArena[T] {
+	var zero T
+	elem := uint64(unsafe.Sizeof(zero))
+	a := &SliceArena[T]{elemBytes: elem}
+	for c := range a.classes {
+		runLen := uint32(1) << c
+		runBytes := uint64(runLen) * max(elem, 1)
+		runs := uint64(targetSlabBytes) / runBytes
+		if runs < 1 {
+			runs = 1
+		}
+		if runs > 1024 {
+			runs = 1024
+		}
+		a.classes[c] = sliceClass[T]{runLen: runLen, runsPerSlab: uint32(runs)}
+	}
+	return a
+}
+
+// Alloc returns a handle and a zeroed slice of length n. The slice's
+// capacity is the size-class run length (n itself on the huge path), so
+// in-place appends stay inside the allocation. n must be positive.
+func (a *SliceArena[T]) Alloc(n int) (Handle, []T) {
+	if n <= 0 {
+		panic("ptalloc: SliceArena.Alloc of non-positive length")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := classFor(n)
+	if c > maxSliceClass {
+		return a.allocHuge(n)
+	}
+	cl := &a.classes[c]
+	var slot uint32
+	if k := len(cl.free); k > 0 {
+		slot = cl.free[k-1]
+		cl.free = cl.free[:k-1]
+	} else {
+		slot = cl.next
+		cl.next++
+		if slot/cl.runsPerSlab == uint32(len(cl.slabs)) {
+			cl.slabs = append(cl.slabs, make([]T, uint64(cl.runsPerSlab)*uint64(cl.runLen)))
+			cl.meta = append(cl.meta, make([]slotMeta, cl.runsPerSlab))
+			a.stats.slabBytes.Add(uint64(cl.runsPerSlab) * uint64(cl.runLen) * a.elemBytes)
+		}
+	}
+	gen := cl.meta[slot/cl.runsPerSlab][slot%cl.runsPerSlab].advance(a.epoch)
+	start := uint64(slot%cl.runsPerSlab) * uint64(cl.runLen)
+	run := cl.slabs[slot/cl.runsPerSlab][start : start+uint64(cl.runLen) : start+uint64(cl.runLen)]
+	clear(run)
+	a.stats.liveObjects.Add(1)
+	a.stats.liveBytes.Add(uint64(cl.runLen) * a.elemBytes)
+	a.stats.allocs.Add(1)
+	return Handle{idx: uint32(c)<<classShift | slot, gen: gen}, run[:n:len(run)]
+}
+
+// AllocExact is Alloc without size-class rounding: the run is carved
+// from the exact-size huge path whatever its length, so LiveBytes
+// charges exactly n elements. Use it for single large arrays (the
+// inverted table's frame array) where power-of-two rounding would
+// distort measured occupancy.
+func (a *SliceArena[T]) AllocExact(n int) (Handle, []T) {
+	if n <= 0 {
+		panic("ptalloc: SliceArena.AllocExact of non-positive length")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocHuge(n)
+}
+
+func (a *SliceArena[T]) allocHuge(n int) (Handle, []T) {
+	var slot uint32
+	if k := len(a.hugeFree); k > 0 {
+		slot = a.hugeFree[k-1]
+		a.hugeFree = a.hugeFree[:k-1]
+	} else {
+		slot = a.hugeNext
+		a.hugeNext++
+		if slot == uint32(len(a.huge)) {
+			a.huge = append(a.huge, hugeSlot[T]{})
+		}
+	}
+	hs := &a.huge[slot]
+	gen := hs.meta.advance(a.epoch)
+	if cap(hs.buf) < n {
+		sub(&a.stats.slabBytes, uint64(cap(hs.buf))*a.elemBytes)
+		hs.buf = make([]T, n)
+		a.stats.slabBytes.Add(uint64(n) * a.elemBytes)
+	} else {
+		hs.buf = hs.buf[:n]
+		clear(hs.buf)
+	}
+	hs.liveB = uint64(n) * a.elemBytes
+	a.stats.liveObjects.Add(1)
+	a.stats.liveBytes.Add(hs.liveB)
+	a.stats.allocs.Add(1)
+	return Handle{idx: hugeClass<<classShift | slot, gen: gen}, hs.buf
+}
+
+// Get resolves a handle to its backing run: the full size-class run for
+// class allocations (its length may exceed the length requested), or
+// the exact slice for huge allocations. It returns nil for nil, stale
+// or foreign handles.
+func (a *SliceArena[T]) Get(h Handle) []T {
+	if h.IsZero() {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, slot := h.idx>>classShift, h.idx&classSlotMask
+	if c == hugeClass {
+		if slot >= uint32(len(a.huge)) || !a.huge[slot].meta.matches(h.gen, a.epoch) {
+			return nil
+		}
+		return a.huge[slot].buf
+	}
+	if c > maxSliceClass {
+		return nil
+	}
+	cl := &a.classes[c]
+	if slot/cl.runsPerSlab >= uint32(len(cl.slabs)) || !cl.meta[slot/cl.runsPerSlab][slot%cl.runsPerSlab].matches(h.gen, a.epoch) {
+		return nil
+	}
+	start := uint64(slot%cl.runsPerSlab) * uint64(cl.runLen)
+	return cl.slabs[slot/cl.runsPerSlab][start : start+uint64(cl.runLen) : start+uint64(cl.runLen)]
+}
+
+// Free returns a run to its size class. Like Arena.Free it panics on an
+// invalid handle.
+func (a *SliceArena[T]) Free(h Handle) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, slot := h.idx>>classShift, h.idx&classSlotMask
+	if h.IsZero() {
+		panic("ptalloc: Free of nil handle")
+	}
+	if c == hugeClass {
+		if slot >= uint32(len(a.huge)) || !a.huge[slot].meta.matches(h.gen, a.epoch) {
+			panic("ptalloc: Free of invalid handle (double free, stale handle, or foreign arena)")
+		}
+		hs := &a.huge[slot]
+		hs.meta.gen++
+		a.hugeFree = append(a.hugeFree, slot)
+		sub(&a.stats.liveObjects, 1)
+		sub(&a.stats.liveBytes, hs.liveB)
+		hs.liveB = 0
+		a.stats.frees.Add(1)
+		return
+	}
+	if c > maxSliceClass {
+		panic("ptalloc: Free of invalid handle (double free, stale handle, or foreign arena)")
+	}
+	cl := &a.classes[c]
+	if slot/cl.runsPerSlab >= uint32(len(cl.slabs)) || !cl.meta[slot/cl.runsPerSlab][slot%cl.runsPerSlab].matches(h.gen, a.epoch) {
+		panic("ptalloc: Free of invalid handle (double free, stale handle, or foreign arena)")
+	}
+	cl.meta[slot/cl.runsPerSlab][slot%cl.runsPerSlab].gen++
+	cl.free = append(cl.free, slot)
+	sub(&a.stats.liveObjects, 1)
+	sub(&a.stats.liveBytes, uint64(cl.runLen)*a.elemBytes)
+	a.stats.frees.Add(1)
+}
+
+// Reset frees every live run in O(1) per size class: epoch bump, free
+// lists truncated, bump pointers rewound. Slabs and huge buffers are
+// retained for reuse.
+func (a *SliceArena[T]) Reset() {
+	a.mu.Lock()
+	a.epoch++
+	for c := range a.classes {
+		a.classes[c].free = a.classes[c].free[:0]
+		a.classes[c].next = 0
+	}
+	a.hugeFree = a.hugeFree[:0]
+	a.hugeNext = 0
+	a.stats.liveObjects.Store(0)
+	a.stats.liveBytes.Store(0)
+	a.stats.resets.Add(1)
+	a.mu.Unlock()
+}
+
+// Stats returns a lock-free snapshot of the arena's occupancy.
+func (a *SliceArena[T]) Stats() Stats { return a.stats.snapshot() }

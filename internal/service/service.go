@@ -333,6 +333,45 @@ func (s *Service) invalidate(vpn addr.VPN) {
 	}
 }
 
+// MemStats reports the wrapped table's measured arena occupancy, or a
+// zero value if the organization does not implement
+// pagetable.MemReporter. Safe to call concurrently with traffic — the
+// arenas keep their stats in atomics.
+func (s *Service) MemStats() pagetable.MemStats {
+	if mr, ok := s.table.(pagetable.MemReporter); ok {
+		return mr.MemStats()
+	}
+	return pagetable.MemStats{}
+}
+
+// Reset rewinds the wrapped table's arenas (when it implements
+// pagetable.Resetter), flushes the whole translation cache, and zeroes
+// the service counters. Callers must be quiescent: every stripe is
+// taken exclusively for the duration to stop in-flight fills from
+// republishing dead translations.
+func (s *Service) Reset() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	if r, ok := s.table.(pagetable.Resetter); ok {
+		r.Reset()
+	}
+	for i := range s.cache {
+		s.cache[i].Store(nil)
+	}
+	s.hits.Store(0)
+	s.fills.Store(0)
+	s.faults.Store(0)
+	s.maps.Store(0)
+	s.mapConflicts.Store(0)
+	s.unmaps.Store(0)
+	s.unmapMisses.Store(0)
+	s.protects.Store(0)
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
 // Stats implements PageTable.
 func (s *Service) Stats() Stats {
 	return Stats{

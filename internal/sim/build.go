@@ -123,7 +123,12 @@ type Build struct {
 // so placement (and with it fss, the fraction of blocks using compact
 // PTEs) is decided exactly as the OS substrate would.
 func BuildProcess(v TableVariant, mode PTEMode, snap trace.ProcessSnapshot, m memcost.Model) (*Build, error) {
-	pt := v.New(m)
+	return buildInto(v.New(m), mode, snap)
+}
+
+// buildInto populates an empty (fresh or pool-reset) table from one
+// process snapshot.
+func buildInto(pt pagetable.PageTable, mode PTEMode, snap trace.ProcessSnapshot) (*Build, error) {
 	frames := snap.MappedPages()*2 + 64
 	frames = (frames + 15) &^ 15
 	space := mm.NewAddressSpace(pt, mm.MustNewAllocator(frames, 4), mode.policy())

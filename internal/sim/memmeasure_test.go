@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+	"clusterpt/internal/trace"
+)
+
+// These tests pin the measured-vs-analytical contract: every
+// organization's MemStats (bytes actually resident in its arenas) must
+// be derivable from its analytical Size() (the paper's model) by a
+// fixed, organization-specific relation. The analytical model charges
+// idealized on-disk formats (8-byte PTP words, 24-byte hash nodes); the
+// arenas charge Go struct sizes — the relation between the two is exact,
+// not approximate, because every slice the organizations allocate is a
+// power-of-two run the size classes represent without rounding.
+
+// checkMeasured asserts the per-organization relation between tab's
+// MemStats and Size. Exercised over every profile × variant × mode the
+// figures use, so a drifting allocation site fails here before it skews
+// a figure.
+func checkMeasured(t *testing.T, name string, tab pagetable.PageTable) {
+	t.Helper()
+	mr, ok := tab.(pagetable.MemReporter)
+	if !ok {
+		t.Errorf("%s: organization does not report measured memory", name)
+		return
+	}
+	ms := mr.MemStats()
+	sz := tab.Size()
+	if ms.SlabBytes() < ms.LiveBytes() {
+		t.Errorf("%s: slab %d < live %d", name, ms.SlabBytes(), ms.LiveBytes())
+	}
+	if f := ms.Nodes.Fragmentation(); f < 0 || f > 1 {
+		t.Errorf("%s: fragmentation %f out of range", name, f)
+	}
+
+	switch name {
+	case "clustered", "clustered+superpage", "clustered+psb":
+		// Model: full = 8s+16, compact/sparse = 24. Every node carries a
+		// 16-byte header (tag+next) plus its word run (s words full, one
+		// word compact/sparse), so the word arena holds exactly
+		// PTEBytes − 16·Nodes and the node arena exactly Nodes objects.
+		if got, want := ms.Payload.LiveBytes, sz.PTEBytes-16*sz.Nodes; got != want {
+			t.Errorf("%s: payload live %d bytes, model words %d", name, got, want)
+		}
+		if ms.Nodes.LiveObjects != sz.Nodes {
+			t.Errorf("%s: %d live node objects, model %d", name, ms.Nodes.LiveObjects, sz.Nodes)
+		}
+	case "hashed", "hashed+superpage":
+		// One arena object per 24-byte model node (the Go node struct is
+		// bigger; the count is the invariant).
+		if ms.Nodes.LiveObjects != sz.Nodes {
+			t.Errorf("%s: %d live node objects, model %d", name, ms.Nodes.LiveObjects, sz.Nodes)
+		}
+	case "forward-mapped":
+		// Model: 8 bytes per entry. The Go fentry is 16 bytes (child
+		// pointer + word), so measured payload is exactly 2× the model.
+		if got, want := ms.Payload.LiveBytes, 2*sz.PTEBytes; got != want {
+			t.Errorf("%s: payload live %d bytes, 2×model %d", name, got, want)
+		}
+		if ms.Nodes.LiveObjects != sz.Nodes {
+			t.Errorf("%s: %d live node objects, model %d", name, ms.Nodes.LiveObjects, sz.Nodes)
+		}
+	case "linear-6level", "linear-1level":
+		// One arena object per populated leaf page; the model's Nodes
+		// also counts directory pages (which live in refcount maps).
+		lt, ok := tab.(*linear.Table)
+		if !ok {
+			t.Fatalf("%s: not a *linear.Table", name)
+		}
+		if leaves := uint64(lt.LevelPages()[0]); ms.Nodes.LiveObjects != leaves {
+			t.Errorf("%s: %d live page objects, %d populated leaves", name, ms.Nodes.LiveObjects, leaves)
+		}
+	default:
+		t.Errorf("%s: no measured-memory relation defined", name)
+	}
+}
+
+// TestMeasuredMatchesModel builds every figure cell and cross-checks.
+func TestMeasuredMatchesModel(t *testing.T) {
+	profiles := trace.Profiles()
+	if testing.Short() {
+		profiles = profiles[:2]
+	}
+	m := memcost.NewModel(0)
+	for _, p := range profiles {
+		for _, v := range SizeVariants() {
+			builds, err := BuildWorkload(v, BaseOnly, p, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, v.Name, err)
+			}
+			for _, b := range builds {
+				checkMeasured(t, v.Name, b.Table)
+			}
+		}
+		for _, v := range Fig10Variants() {
+			builds, err := BuildWorkload(v.TableVariant, v.Mode, p, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, v.Name, err)
+			}
+			for _, b := range builds {
+				checkMeasured(t, v.Name, b.Table)
+			}
+		}
+	}
+}
+
+// TestMeasuredMatchesModelPooled repeats the cross-check on tables that
+// have been through a Reset cycle: a recycled table must satisfy the
+// same exact relations as a fresh one, or pooling would skew figures.
+func TestMeasuredMatchesModelPooled(t *testing.T) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	m := memcost.NewModel(0)
+	pool := NewTablePool()
+	for round := 0; round < 3; round++ {
+		for _, v := range SizeVariants() {
+			builds, err := BuildWorkloadIn(pool, v, BaseOnly, p, m)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, v.Name, err)
+			}
+			for _, b := range builds {
+				checkMeasured(t, v.Name, b.Table)
+			}
+			ReleaseBuilds(pool, v, m, builds)
+		}
+	}
+	if pool.Idle() == 0 {
+		t.Error("pool recycled nothing")
+	}
+}
+
+// TestPooledSizesIdentical pins the golden-output guarantee: a pooled
+// Figure 9 / Figure 10 row must be byte-for-byte the row a fresh build
+// produces.
+func TestPooledSizesIdentical(t *testing.T) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	pool := NewTablePool()
+	fresh9, err := Figure9Row(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		pooled, err := Figure9RowPooled(p, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range fresh9.Bytes {
+			if pooled.Bytes[name] != b {
+				t.Errorf("round %d: fig9 %s pooled %d, fresh %d", round, name, pooled.Bytes[name], b)
+			}
+		}
+	}
+	fresh10, err := Figure10Row(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled10, err := Figure10RowPooled(p, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range fresh10.Bytes {
+		if pooled10.Bytes[name] != b {
+			t.Errorf("fig10 %s pooled %d, fresh %d", name, pooled10.Bytes[name], b)
+		}
+	}
+}
+
+// TestMeasuredSpecialOrgs covers the organizations the figure variants
+// do not instantiate: inverted, sp-index, tiered, and shared tables.
+func TestMeasuredSpecialOrgs(t *testing.T) {
+	const frames = 1000
+	inv := hashed.MustNewInverted(hashed.Config{Buckets: 64}, frames)
+	for i := 0; i < 100; i++ {
+		if err := inv.Map(addr.VPN(i*7), addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The inverted frame array is exact-size (AllocExact): measured
+	// payload is frames × 24 regardless of how much is mapped — the
+	// physical-memory-proportional cost that defines the organization.
+	if got, want := inv.MemStats().Payload.LiveBytes, uint64(frames*24); got != want {
+		t.Errorf("inverted: payload %d bytes, want %d", got, want)
+	}
+	inv.Reset()
+	if got, want := inv.MemStats().Payload.LiveBytes, uint64(frames*24); got != want {
+		t.Errorf("inverted after reset: payload %d bytes, want %d", got, want)
+	}
+	if _, _, ok := inv.Lookup(addr.VAOf(0)); ok {
+		t.Error("inverted: mapping survived Reset")
+	}
+
+	sp := hashed.MustNewSPIndex(hashed.Config{Buckets: 64}, 4)
+	for i := 0; i < 64; i++ {
+		if err := sp.Map(addr.VPN(i), addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := sp.MemStats().Nodes.LiveObjects, sp.Size().Nodes; got != want {
+		t.Errorf("sp-index: %d live objects, model %d", got, want)
+	}
+	sp.Reset()
+	if got := sp.MemStats().LiveObjects(); got != 0 {
+		t.Errorf("sp-index after reset: %d live objects", got)
+	}
+
+	tiered := core.MustNewTiered(core.Config{Buckets: 64})
+	for i := 0; i < 64; i++ {
+		if err := tiered.Map(addr.VPN(i), addr.PPN(i), pte.AttrR); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tiered.MemStats().LiveObjects(); got == 0 {
+		t.Error("tiered: no live objects after mapping")
+	}
+	tiered.Reset()
+	if got := tiered.MemStats().LiveObjects(); got != 0 {
+		t.Errorf("tiered after reset: %d live objects", got)
+	}
+
+	sh := core.MustNewShared(core.Config{Buckets: 64}, 32)
+	for asid := core.ASID(1); asid <= 4; asid++ {
+		for i := 0; i < 16; i++ {
+			if err := sh.Map(asid, addr.VPN(i), addr.PPN(int(asid)*100+i), pte.AttrR); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ms := sh.MemStats()
+	sz := sh.Size()
+	if got, want := ms.Payload.LiveBytes, sz.PTEBytes-16*sz.Nodes; got != want {
+		t.Errorf("shared: payload %d bytes, model words %d", got, want)
+	}
+	sh.Reset()
+	if got := sh.MemStats().LiveObjects(); got != 0 {
+		t.Errorf("shared after reset: %d live objects", got)
+	}
+}

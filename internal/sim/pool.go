@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"strconv"
+	"sync"
+
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/trace"
+)
+
+// TablePool recycles built page tables across experiment cells. The §6
+// figures construct hundreds of tables of the same few shapes and throw
+// each away after one sizing pass; arena-backed organizations can hand
+// their slabs back through pagetable.Resetter instead of abandoning them
+// to the garbage collector, so a pooled rebuild allocates almost
+// nothing. A nil *TablePool is a valid pass-through that always builds
+// fresh — callers never need to branch.
+type TablePool struct {
+	mu   sync.Mutex
+	idle map[string][]pagetable.PageTable
+}
+
+// NewTablePool returns an empty pool, safe for concurrent use.
+func NewTablePool() *TablePool {
+	return &TablePool{idle: map[string][]pagetable.PageTable{}}
+}
+
+// poolKey buckets tables by variant and cache-line geometry — the two
+// inputs TableVariant.New consumes, so a pooled table is
+// indistinguishable from a fresh one.
+func poolKey(v TableVariant, m memcost.Model) string {
+	return v.Name + "/" + strconv.Itoa(m.LineSize)
+}
+
+// Acquire returns an empty table for the variant: a recycled one if
+// available, otherwise freshly built.
+func (p *TablePool) Acquire(v TableVariant, m memcost.Model) pagetable.PageTable {
+	if p == nil {
+		return v.New(m)
+	}
+	key := poolKey(v, m)
+	p.mu.Lock()
+	if s := p.idle[key]; len(s) > 0 {
+		t := s[len(s)-1]
+		p.idle[key] = s[:len(s)-1]
+		p.mu.Unlock()
+		return t
+	}
+	p.mu.Unlock()
+	return v.New(m)
+}
+
+// Release resets t and parks it for the next Acquire. Organizations that
+// do not implement pagetable.Resetter are dropped — the pool only helps
+// the arena-backed ones, and dropping is what would have happened anyway.
+func (p *TablePool) Release(v TableVariant, m memcost.Model, t pagetable.PageTable) {
+	if p == nil || t == nil {
+		return
+	}
+	r, ok := t.(pagetable.Resetter)
+	if !ok {
+		return
+	}
+	r.Reset()
+	key := poolKey(v, m)
+	p.mu.Lock()
+	p.idle[key] = append(p.idle[key], t)
+	p.mu.Unlock()
+}
+
+// Idle reports how many tables are parked (for tests).
+func (p *TablePool) Idle() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, s := range p.idle {
+		n += len(s)
+	}
+	return n
+}
+
+// BuildProcessIn is BuildProcess drawing the table from a pool (nil pool
+// = always fresh).
+func BuildProcessIn(pool *TablePool, v TableVariant, mode PTEMode, snap trace.ProcessSnapshot, m memcost.Model) (*Build, error) {
+	pt := pool.Acquire(v, m)
+	b, err := buildInto(pt, mode, snap)
+	if err != nil {
+		// A half-populated table is still resettable; recycle it.
+		pool.Release(v, m, pt)
+		return nil, err
+	}
+	return b, nil
+}
+
+// BuildWorkloadIn is BuildWorkload drawing tables from a pool.
+func BuildWorkloadIn(pool *TablePool, v TableVariant, mode PTEMode, p trace.Profile, m memcost.Model) ([]*Build, error) {
+	var out []*Build
+	for _, snap := range p.Snapshot() {
+		b, err := BuildProcessIn(pool, v, mode, snap, m)
+		if err != nil {
+			ReleaseBuilds(pool, v, m, out)
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ReleaseBuilds returns every build's table to the pool once the caller
+// has extracted what it needs (sizes, stats). The builds must not be
+// used afterwards — their tables' arenas are rewound.
+func ReleaseBuilds(pool *TablePool, v TableVariant, m memcost.Model, builds []*Build) {
+	if pool == nil {
+		return
+	}
+	for _, b := range builds {
+		if b != nil {
+			pool.Release(v, m, b.Table)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/trace"
+)
+
+// The Fresh/Pooled benchmark pairs measure what the arena refactor buys
+// the harness: building a figure cell from a pooled (Reset) table reuses
+// the previous cell's slabs, so allocs/op collapses to per-build
+// bookkeeping while a fresh build pays for every node again. make
+// bench-alloc emits these as BENCH_alloc.json.
+
+func benchProfile(b *testing.B) trace.Profile {
+	b.Helper()
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("no gcc profile")
+	}
+	return p
+}
+
+func benchBuild(b *testing.B, v TableVariant, pool *TablePool) {
+	p := benchProfile(b)
+	m := memcost.NewModel(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builds, err := BuildWorkloadIn(pool, v, BaseOnly, p, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseBuilds(pool, v, m, builds)
+	}
+}
+
+func BenchmarkBuildFresh(b *testing.B) {
+	for _, v := range SizeVariants() {
+		b.Run(v.Name, func(b *testing.B) { benchBuild(b, v, nil) })
+	}
+}
+
+func BenchmarkBuildPooled(b *testing.B) {
+	for _, v := range SizeVariants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			pool := NewTablePool()
+			// Prime the pool so every timed iteration measures steady-state
+			// recycling, not the first cold build.
+			m := memcost.NewModel(0)
+			builds, err := BuildWorkloadIn(pool, v, BaseOnly, benchProfile(b), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ReleaseBuilds(pool, v, m, builds)
+			benchBuild(b, v, pool)
+		})
+	}
+}
+
+// BenchmarkFigure9RowPooled is the end-to-end engine cell: one full
+// Figure 9 row, every organization, drawn from one shared pool.
+func BenchmarkFigure9RowPooled(b *testing.B) {
+	p := benchProfile(b)
+	pool := NewTablePool()
+	if _, err := Figure9RowPooled(p, pool); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure9RowPooled(p, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

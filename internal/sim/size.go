@@ -33,6 +33,13 @@ func Figure9(profiles []trace.Profile) ([]SizeRow, error) {
 // Figure9Row sizes one workload's tables — one schedulable cell of the
 // Figure 9 experiment.
 func Figure9Row(p trace.Profile) (SizeRow, error) {
+	return Figure9RowPooled(p, nil)
+}
+
+// Figure9RowPooled is Figure9Row drawing tables from a pool: the row
+// needs only each build's size, so every table goes straight back for
+// the next cell (nil pool = build fresh, identical results).
+func Figure9RowPooled(p trace.Profile, pool *TablePool) (SizeRow, error) {
 	m := memcost.NewModel(0)
 	row := SizeRow{
 		Workload:   p.Name,
@@ -40,11 +47,12 @@ func Figure9Row(p trace.Profile) (SizeRow, error) {
 		Normalized: map[string]float64{},
 	}
 	for _, v := range SizeVariants() {
-		builds, err := BuildWorkload(v, BaseOnly, p, m)
+		builds, err := BuildWorkloadIn(pool, v, BaseOnly, p, m)
 		if err != nil {
 			return row, err
 		}
 		row.Bytes[v.Name] = WorkloadPTEBytes(builds)
+		ReleaseBuilds(pool, v, m, builds)
 	}
 	hashedBytes := row.Bytes["hashed"]
 	row.HashedKB = float64(hashedBytes) / 1024
@@ -72,25 +80,33 @@ func Figure10(profiles []trace.Profile) ([]SizeRow, error) {
 // Figure10Row sizes one workload's compact-PTE tables — one schedulable
 // cell of the Figure 10 experiment.
 func Figure10Row(p trace.Profile) (SizeRow, error) {
+	return Figure10RowPooled(p, nil)
+}
+
+// Figure10RowPooled is Figure10Row drawing tables from a pool.
+func Figure10RowPooled(p trace.Profile, pool *TablePool) (SizeRow, error) {
 	m := memcost.NewModel(0)
 	row := SizeRow{
 		Workload:   p.Name,
 		Bytes:      map[string]uint64{},
 		Normalized: map[string]float64{},
 	}
-	hashedBuilds, err := BuildWorkload(TableVariant{Name: "hashed", New: variantHashed}, BaseOnly, p, m)
+	hashedVariant := TableVariant{Name: "hashed", New: variantHashed}
+	hashedBuilds, err := BuildWorkloadIn(pool, hashedVariant, BaseOnly, p, m)
 	if err != nil {
 		return row, err
 	}
 	hashedBytes := WorkloadPTEBytes(hashedBuilds)
+	ReleaseBuilds(pool, hashedVariant, m, hashedBuilds)
 	row.HashedKB = float64(hashedBytes) / 1024
 	for _, v := range Fig10Variants() {
-		builds, err := BuildWorkload(v.TableVariant, v.Mode, p, m)
+		builds, err := BuildWorkloadIn(pool, v.TableVariant, v.Mode, p, m)
 		if err != nil {
 			return row, err
 		}
 		row.Bytes[v.Name] = WorkloadPTEBytes(builds)
 		row.Normalized[v.Name] = float64(row.Bytes[v.Name]) / float64(hashedBytes)
+		ReleaseBuilds(pool, v.TableVariant, m, builds)
 	}
 	return row, nil
 }
