@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint fuzz-smoke bench bench-alloc
+.PHONY: all build test lint fuzz-smoke bench bench-alloc bench-replay
 
 all: build lint test
 
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAddrFields -fuzztime $(FUZZTIME) ./internal/addr/
 	$(GO) test -run '^$$' -fuzz FuzzPTERoundTrip -fuzztime $(FUZZTIME) ./internal/pte/
 	$(GO) test -run '^$$' -fuzz FuzzArenaOps -fuzztime $(FUZZTIME) ./internal/ptalloc/
+	$(GO) test -run '^$$' -fuzz FuzzTLBIndex -fuzztime $(FUZZTIME) ./internal/tlb/
 
 # bench runs every benchmark once — a compile-and-smoke pass, not a
 # measurement; use -benchtime with the go tool directly for numbers.
@@ -42,3 +43,15 @@ bench-alloc:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkBuild(Fresh|Pooled)|BenchmarkFigure9RowPooled' -benchmem -count 3 ./internal/sim/ ; \
 	  $(GO) test -run '^$$' -bench BenchmarkMeterTouch -benchmem -count 3 ./internal/memcost/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_alloc.json
+
+# bench-replay measures the PR 5 reference-replay fast path — indexed
+# vs linear-scan TLB lookup, buffered zero-alloc trace generation, and
+# the end-to-end Figure 11 replay — and snapshots the result as
+# BENCH_replay.json. The indexed/scan pairs share every other line of
+# code, so the ratio isolates the index. Regenerate after TLB or replay
+# changes and commit the diff.
+bench-replay:
+	{ $(GO) test -run '^$$' -bench BenchmarkAccess -benchmem -count 3 ./internal/tlb/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkGeneratorFill -benchmem -count 3 ./internal/trace/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkFigure11Replay -benchmem -count 3 ./internal/sim/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_replay.json

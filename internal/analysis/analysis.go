@@ -35,6 +35,10 @@ type Config struct {
 	// AllocPkg is the import path of the arena package, the one place
 	// allowed to allocate NodeTypes storage directly.
 	AllocPkg string
+	// HotPkgs lists the packages whose replay loops are allocation-
+	// sensitive; hotpathalloc flags string-keyed counter maps only
+	// inside them.
+	HotPkgs []string
 }
 
 // DefaultConfig returns the configuration enforcing this repository's
@@ -64,6 +68,7 @@ func DefaultConfig(module string) Config {
 			p("internal/hashed") + ".invEntry",
 		},
 		AllocPkg: p("internal/ptalloc"),
+		HotPkgs:  []string{p("internal/sim")},
 	}
 }
 
@@ -176,6 +181,7 @@ func Analyzers() []*Analyzer {
 		LockSafety,
 		ErrDrop,
 		ArenaAlloc,
+		HotPathAlloc,
 	}
 }
 

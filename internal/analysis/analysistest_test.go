@@ -136,6 +136,7 @@ func fixtureConfig(mod string) analysis.Config {
 		ErrPkgs:           []string{mod + "/svc"},
 		NodeTypes:         []string{mod + "/tab.Node", mod + "/tab.Entry"},
 		AllocPkg:          mod + "/alloc",
+		HotPkgs:           []string{mod, mod + "/hot"},
 	}
 }
 

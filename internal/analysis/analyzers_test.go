@@ -27,6 +27,10 @@ func TestArenaAlloc(t *testing.T) {
 	runFixture(t, "arena", analysis.ArenaAlloc, fixtureConfig("arena"))
 }
 
+func TestHotPathAlloc(t *testing.T) {
+	runFixture(t, "hot", analysis.HotPathAlloc, fixtureConfig("hot"))
+}
+
 // TestNoDeterminismScopedToConfiguredPackages pins that the analyzer is
 // silent outside Config.DeterministicPkgs: the same fixture full of
 // violations produces nothing when the config names no packages.
@@ -78,9 +82,9 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 // TestAnalyzersStable pins the suite's composition: CI and docs name
-// these five checks.
+// these six checks.
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc"}
+	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc", "hotpathalloc"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,88 @@
+// Package hot is the hotpathalloc fixture: a stand-in for the
+// allocation-sensitive replay packages.
+package hot
+
+// Named map types count: the check looks through to the underlying
+// map[string]<integer>.
+type counters map[string]uint64
+
+func RangeIncrement(refs []int, lines map[string]uint64) {
+	for range refs {
+		lines["hashed"]++ // want:hotpathalloc string-keyed counter map lines
+	}
+}
+
+func ForAddAssign(n int, m counters) {
+	for i := 0; i < n; i++ {
+		m["clustered"] += uint64(i) // want:hotpathalloc string-keyed counter map m
+	}
+}
+
+func SubAssign(n int, m map[string]int) {
+	for i := 0; i < n; i++ {
+		m["budget"] -= i // want:hotpathalloc string-keyed counter map m
+	}
+}
+
+type stats struct {
+	misses map[string]uint64
+}
+
+func FieldMap(refs []int, s *stats) {
+	for range refs {
+		s.misses["linear"]++ // want:hotpathalloc string-keyed counter map s.misses
+	}
+}
+
+func NestedLoops(rows, cols int, m map[string]int) {
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m["cells"]++ // want:hotpathalloc string-keyed counter map m
+		}
+	}
+}
+
+// OutsideLoop is fine: a one-shot increment hashes once, not per
+// reference.
+func OutsideLoop(m map[string]uint64) {
+	m["total"]++
+}
+
+// FloatMap is fine: float-valued maps shape reports (averages filled
+// once per row), they are not per-reference counters.
+func FloatMap(names []string, avg map[string]float64) {
+	for _, n := range names {
+		avg[n] += 0.5
+	}
+}
+
+// PlainAssign is fine: report-time writes keyed once per variant.
+func PlainAssign(names []string, bytes map[string]uint64) {
+	for i, n := range names {
+		bytes[n] = uint64(i)
+	}
+}
+
+// IntKey is fine: integer keys do not hash a string per iteration.
+func IntKey(refs []int, m map[int]uint64) {
+	for i := range refs {
+		m[i]++
+	}
+}
+
+// DenseArray is the sanctioned shape: enum-indexed array, no hashing.
+func DenseArray(refs []int, classes []uint8) [4]uint64 {
+	var lines [4]uint64
+	for i := range refs {
+		lines[classes[i%len(classes)]]++
+	}
+	return lines
+}
+
+// AllowedIncrement carries a justification: a cold loop that runs once
+// per table variant, not per reference.
+func AllowedIncrement(variants []string, m map[string]uint64) {
+	for _, v := range variants {
+		m[v]++ //ptlint:allow hotpathalloc per-variant setup loop, not per-reference
+	}
+}

@@ -122,7 +122,7 @@ func runTable1(ctx context.Context, rc *RunContext) (*Result, error) {
 		cells[i] = Cell[sim.Table1Row]{
 			Key: "table1/" + p.Name,
 			Run: func(ctx context.Context, seed uint64) (sim.Table1Row, error) {
-				row, err := sim.RunTable1Row(p, sim.Table1Config{Refs: rc.Refs, Seed: seed})
+				row, err := sim.RunTable1Row(p, sim.Table1Config{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
 				if err == nil {
 					rc.CountRefs(row.Accesses)
 				}
@@ -225,7 +225,7 @@ func runFig11(ctx context.Context, rc *RunContext, f sim.Figure) (*Result, error
 		cells[i] = Cell[sim.AccessRow]{
 			Key: f.String() + "/" + p.Name,
 			Run: func(ctx context.Context, seed uint64) (sim.AccessRow, error) {
-				row, err := sim.RunFigure11(f, p, sim.AccessConfig{Refs: rc.Refs, Seed: seed})
+				row, err := sim.RunFigure11(f, p, sim.AccessConfig{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
 				if err == nil {
 					rc.CountRefs(row.RefAccesses)
 				}
@@ -371,7 +371,7 @@ func runSweeps(ctx context.Context, rc *RunContext) (*Result, error) {
 			Key: "sweeps/search-order/" + name,
 			Run: func(ctx context.Context, seed uint64) (sim.SearchOrderRow, error) {
 				rc.CountRefs(uint64(rc.Refs))
-				return sim.SearchOrderSweep(mustProfile(name), sim.AccessConfig{Refs: rc.Refs, Seed: seed})
+				return sim.SearchOrderSweep(mustProfile(name), sim.AccessConfig{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
 			},
 		}
 	}
@@ -422,7 +422,7 @@ func runSweeps(ctx context.Context, rc *RunContext) (*Result, error) {
 			Key: "sweeps/sp-index/" + name,
 			Run: func(ctx context.Context, seed uint64) (sim.SPIndexRow, error) {
 				rc.CountRefs(uint64(rc.Refs))
-				return sim.SPIndexSweep(mustProfile(name), sim.AccessConfig{Refs: rc.Refs, Seed: seed})
+				return sim.SPIndexSweep(mustProfile(name), sim.AccessConfig{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
 			},
 		}
 	}
@@ -479,6 +479,7 @@ func runResidency(ctx context.Context, rc *RunContext) (*Result, error) {
 				rc.CountRefs(uint64(rc.Refs / 2))
 				return sim.RunResidency(mustProfile(name), sim.ResidencyConfig{
 					Refs: rc.Refs / 2, CacheBytes: 128 << 10, Seed: seed,
+					Buf: sim.ReplayBufFrom(ctx),
 				})
 			},
 		}
@@ -517,7 +518,7 @@ func runSwTLB(ctx context.Context, rc *RunContext) (*Result, error) {
 			Run: func(ctx context.Context, seed uint64) (sim.SwTLBRow, error) {
 				rc.CountRefs(uint64(rc.Refs))
 				return sim.SwTLBSweep(mustProfile(pr.workload), pr.table,
-					sim.AccessConfig{Refs: rc.Refs, Seed: seed})
+					sim.AccessConfig{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
 			},
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clusterpt/internal/sim"
 	"clusterpt/internal/trace"
 )
 
@@ -100,6 +101,12 @@ func Fan[T any](ctx context.Context, rc *RunContext, cells []Cell[T]) ([]T, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one replay chunk buffer; every cell this
+			// worker runs reuses it (sim.ReplayBufFrom), so buffered
+			// generation allocates once per worker, not per cell. Results
+			// cannot depend on which worker ran a cell: the buffer only
+			// carries chunk storage, never trace state.
+			wctx := sim.WithReplayBuf(cctx)
 			for i := range idx {
 				if cctx.Err() != nil {
 					continue // drain without running after cancellation
@@ -109,7 +116,7 @@ func Fan[T any](ctx context.Context, rc *RunContext, cells []Cell[T]) ([]T, erro
 					h(rc.exp, c.Key)
 				}
 				start := time.Now() //ptlint:allow nodeterminism per-cell wall time feeds the CellDone hook, not cell results
-				v, err := c.Run(cctx, trace.DeriveSeed(rc.Seed, c.Key))
+				v, err := c.Run(wctx, trace.DeriveSeed(rc.Seed, c.Key))
 				if err != nil {
 					fail(fmt.Errorf("cell %s: %w", c.Key, err))
 					continue

@@ -49,16 +49,16 @@ func (f Figure) Mode() PTEMode {
 // hashed page tables appear as multiple page tables (4KB searched first)
 // when superpage or partial-subblock PTEs are in play (§6.1).
 func (f Figure) Variants() []TableVariant {
-	lin := TableVariant{Name: "linear", New: variantLinear1, ReservedTLB: 8}
-	fwd := TableVariant{Name: "forward-mapped", New: variantForward}
-	clu := TableVariant{Name: "clustered", New: variantClustered}
+	lin := TableVariant{Name: "linear", Class: LCLinear, New: variantLinear1, ReservedTLB: 8}
+	fwd := TableVariant{Name: "forward-mapped", Class: LCForward, New: variantForward}
+	clu := TableVariant{Name: "clustered", Class: LCClustered, New: variantClustered}
 	switch f {
 	case Fig11b, Fig11c:
 		return []TableVariant{lin, fwd,
-			{Name: "hashed", New: variantHashedMulti}, clu}
+			{Name: "hashed", Class: LCHashed, New: variantHashedMulti}, clu}
 	default:
 		return []TableVariant{lin, fwd,
-			{Name: "hashed", New: variantHashed}, clu}
+			{Name: "hashed", Class: LCHashed, New: variantHashed}, clu}
 	}
 }
 
@@ -73,6 +73,13 @@ type AccessConfig struct {
 	LineModel memcost.Model
 	// Seed perturbs the reference streams.
 	Seed uint64
+	// Buf, when set, is the reusable chunk buffer replay fills; the
+	// engine passes each worker's. Nil allocates per run.
+	Buf *ReplayBuf
+	// ScanTLB runs the simulated TLBs in linear-scan reference mode
+	// (tlb.Config.Scan) — results are identical, only speed differs. It
+	// exists for the before/after replay benchmarks.
+	ScanTLB bool
 }
 
 func (c *AccessConfig) fill() {
@@ -113,7 +120,7 @@ type AccessRow struct {
 func RunFigure11(f Figure, p trace.Profile, cfg AccessConfig) (AccessRow, error) {
 	cfg.fill()
 	row := AccessRow{Workload: p.Name, Figure: f, AvgLines: map[string]float64{}}
-	lines := map[string]uint64{}
+	var lines lineCounts
 
 	snaps := p.Snapshot()
 	for pi, snap := range snaps {
@@ -125,9 +132,7 @@ func RunFigure11(f Figure, p trace.Profile, cfg AccessConfig) (AccessRow, error)
 		if err != nil {
 			return row, fmt.Errorf("sim: %s/%s: %w", p.Name, snap.Name, err)
 		}
-		for name, n := range procLines {
-			lines[name] += n
-		}
+		lines.add(&procLines)
 		row.RefMisses += misses
 		row.RefAccesses += accesses
 		row.LinearNested += nested
@@ -135,69 +140,78 @@ func RunFigure11(f Figure, p trace.Profile, cfg AccessConfig) (AccessRow, error)
 	if row.RefMisses == 0 {
 		return row, fmt.Errorf("sim: %s: no TLB misses", p.Name)
 	}
-	for name, n := range lines {
-		row.AvgLines[name] = float64(n) / float64(row.RefMisses)
+	// Names enter the row only here, at report time.
+	for _, v := range f.Variants() {
+		row.AvgLines[v.Name] = float64(lines[v.Class]) / float64(row.RefMisses)
 	}
 	return row, nil
 }
 
 // runProcess drives one process's trace through the figure's TLB and
 // page tables.
-func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig) (map[string]uint64, uint64, uint64, uint64, error) {
+func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig) (lineCounts, uint64, uint64, uint64, error) {
 	kind := f.TLBKind()
 	mode := f.Mode()
 	variants := f.Variants()
 
-	builds := map[string]*Build{}
-	for _, v := range variants {
+	var lines lineCounts
+	// builds is index-aligned with variants; the replay loop never keys
+	// by name.
+	builds := make([]*Build, len(variants))
+	var canonical pagetable.PageTable
+	for i, v := range variants {
 		b, err := BuildProcess(v, mode, snap, cfg.LineModel)
 		if err != nil {
-			return nil, 0, 0, 0, err
+			return lines, 0, 0, 0, err
 		}
-		builds[v.Name] = b
+		builds[i] = b
+		if v.Class == LCClustered {
+			canonical = b.Table
+		}
 	}
-	canonical := builds["clustered"].Table
 
-	refTLB := tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries})
-	lines := map[string]uint64{}
+	refTLB := tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries, Scan: cfg.ScanTLB})
 
 	// Linear page tables run their own, smaller TLB plus the reserved
 	// page-table-mapping entries (§6.1).
 	var lins []*linState
-	for _, v := range variants {
+	for i, v := range variants {
 		if v.ReservedTLB == 0 {
 			continue
 		}
-		lt, ok := builds[v.Name].Table.(*linear.Table)
+		lt, ok := builds[i].Table.(*linear.Table)
 		if !ok {
-			return nil, 0, 0, 0, fmt.Errorf("reserved-TLB variant %q is not linear", v.Name)
+			return lines, 0, 0, 0, fmt.Errorf("reserved-TLB variant %q is not linear", v.Name)
 		}
 		lins = append(lins, &linState{
-			main:  tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries - v.ReservedTLB}),
-			pt:    tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: v.ReservedTLB}),
+			main:  tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries - v.ReservedTLB, Scan: cfg.ScanTLB}),
+			pt:    tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: v.ReservedTLB, Scan: cfg.ScanTLB}),
 			table: lt,
-			name:  v.Name,
+			class: v.Class,
 		})
 	}
 
 	gen := trace.NewGenerator(snap, cfg.Seed*31+1)
 	var misses, nested uint64
-	for i := 0; i < refs; i++ {
-		va := gen.Next()
+	err := replay(gen, cfg.Buf, refs, func(va addr.V) error {
 		res := refTLB.Access(va)
 		if !res.Hit {
 			misses++
-			if err := serviceMiss(f, va, res, refTLB, canonical, builds, variants, lines); err != nil {
-				return nil, 0, 0, 0, err
+			if err := serviceMiss(f, va, res, refTLB, canonical, builds, variants, &lines); err != nil {
+				return err
 			}
 		}
 		for _, ls := range lins {
-			n, err := serviceLinear(f, va, ls, lines)
+			n, err := serviceLinear(f, va, ls, &lines)
 			if err != nil {
-				return nil, 0, 0, 0, err
+				return err
 			}
 			nested += n
 		}
+		return nil
+	})
+	if err != nil {
+		return lineCounts{}, 0, 0, 0, err
 	}
 	return lines, misses, uint64(refs), nested, nil
 }
@@ -205,18 +219,18 @@ func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig
 // serviceMiss walks every non-linear page table for the faulting address
 // and refills the reference TLB from the canonical (clustered) build.
 func serviceMiss(f Figure, va addr.V, res tlb.Result, refTLB *tlb.TLB,
-	canonical pagetable.PageTable, builds map[string]*Build,
-	variants []TableVariant, lines map[string]uint64) error {
+	canonical pagetable.PageTable, builds []*Build,
+	variants []TableVariant, lines *lineCounts) error {
 
 	vpn := addr.VPNOf(va)
 	if f == Fig11d && !res.SubblockMiss {
 		// Block miss with prefetch: gather the whole block (§4.4).
 		vpbn, _ := addr.BlockSplit(vpn, 4)
-		for _, v := range variants {
+		for i, v := range variants {
 			if v.ReservedTLB > 0 {
 				continue
 			}
-			br, ok := builds[v.Name].Table.(pagetable.BlockReader)
+			br, ok := builds[i].Table.(pagetable.BlockReader)
 			if !ok {
 				return fmt.Errorf("variant %q cannot prefetch blocks", v.Name)
 			}
@@ -224,7 +238,7 @@ func serviceMiss(f Figure, va addr.V, res tlb.Result, refTLB *tlb.TLB,
 			if !found {
 				return fmt.Errorf("variant %q lost block %#x", v.Name, uint64(vpbn))
 			}
-			lines[v.Name] += uint64(cost.Lines)
+			lines[v.Class] += uint64(cost.Lines)
 		}
 		entries, _, found := canonical.(pagetable.BlockReader).LookupBlock(vpbn, 4)
 		if !found {
@@ -234,15 +248,15 @@ func serviceMiss(f Figure, va addr.V, res tlb.Result, refTLB *tlb.TLB,
 		return nil
 	}
 
-	for _, v := range variants {
+	for i, v := range variants {
 		if v.ReservedTLB > 0 {
 			continue
 		}
-		_, cost, ok := builds[v.Name].Table.Lookup(va)
+		_, cost, ok := builds[i].Table.Lookup(va)
 		if !ok {
 			return fmt.Errorf("variant %q lost vpn %#x", v.Name, uint64(vpn))
 		}
-		lines[v.Name] += uint64(cost.Lines)
+		lines[v.Class] += uint64(cost.Lines)
 	}
 	e, _, ok := canonical.Lookup(va)
 	if !ok {
@@ -259,7 +273,7 @@ type linState struct {
 	main  *tlb.TLB
 	pt    *tlb.TLB
 	table *linear.Table
-	name  string
+	class LineClass
 }
 
 // serviceLinear advances the linear variant's TLBs for one reference. A
@@ -267,7 +281,7 @@ type linState struct {
 // page's mapping adds the upper-level walk. The resulting line count is
 // later normalized by the 64-entry TLB's misses, charging the
 // opportunity cost of the reserved entries exactly as §6.1 does.
-func serviceLinear(f Figure, va addr.V, ls *linState, lines map[string]uint64) (uint64, error) {
+func serviceLinear(f Figure, va addr.V, ls *linState, lines *lineCounts) (uint64, error) {
 	res := ls.main.Access(va)
 	if res.Hit {
 		return 0, nil
@@ -282,14 +296,14 @@ func serviceLinear(f Figure, va addr.V, ls *linState, lines map[string]uint64) (
 		if !ok {
 			return 0, fmt.Errorf("linear lost block %#x", uint64(vpbn))
 		}
-		lines[ls.name] += uint64(cost.Lines)
+		lines[ls.class] += uint64(cost.Lines)
 		ls.main.InsertBlock(vpbn, entries)
 	} else {
 		e, cost, ok := ls.table.Lookup(va)
 		if !ok {
 			return 0, fmt.Errorf("linear lost vpn %#x", uint64(vpn))
 		}
-		lines[ls.name] += uint64(cost.Lines)
+		lines[ls.class] += uint64(cost.Lines)
 		ls.main.Insert(e)
 	}
 
@@ -298,7 +312,7 @@ func serviceLinear(f Figure, va addr.V, ls *linState, lines map[string]uint64) (
 	leafVA := addr.VAOf(addr.VPN(linear.LeafPageIndex(vpn)))
 	if !ls.pt.Access(leafVA).Hit {
 		walk := ls.table.UpperWalkCost(vpn)
-		lines[ls.name] += uint64(walk.Lines)
+		lines[ls.class] += uint64(walk.Lines)
 		ls.pt.Insert(pteForLeaf(vpn))
 		return 1, nil
 	}

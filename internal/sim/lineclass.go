@@ -1,0 +1,39 @@
+package sim
+
+// LineClass is a dense index for per-variant line accounting on the
+// replay hot path. The miss-service loops execute once per TLB miss —
+// millions of times per figure — so they accumulate into a small array
+// indexed by this enum; variant names appear only when a finished row
+// converts the array into its report-time map.
+type LineClass uint8
+
+// Line-accounting classes, one per Figure 11 variant.
+const (
+	LCLinear LineClass = iota
+	LCForward
+	LCHashed
+	LCClustered
+	numLineClasses
+)
+
+// lineClassNames are the report-time names; they must match the keys
+// the rendering layer reads out of AccessRow.AvgLines.
+var lineClassNames = [numLineClasses]string{
+	LCLinear:    "linear",
+	LCForward:   "forward-mapped",
+	LCHashed:    "hashed",
+	LCClustered: "clustered",
+}
+
+// String names the class.
+func (c LineClass) String() string { return lineClassNames[c] }
+
+// lineCounts is the dense accumulator: lines touched per class.
+type lineCounts [numLineClasses]uint64
+
+// add merges another accumulator in.
+func (lc *lineCounts) add(o *lineCounts) {
+	for i := range lc {
+		lc[i] += o[i]
+	}
+}

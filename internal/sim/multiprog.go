@@ -56,6 +56,9 @@ func RunMultiprogram(p trace.Profile, quantum, refs int, seed uint64) (Multiprog
 		budgets[i] = int(float64(refs) * p.Procs[i].RefShare)
 	}
 
+	// One chunk buffer serves every loop in this run.
+	buf := &ReplayBuf{}
+
 	// Baseline: private TLBs (the paper's per-process methodology).
 	for i, snap := range snaps {
 		if budgets[i] == 0 {
@@ -63,11 +66,13 @@ func RunMultiprogram(p trace.Profile, quantum, refs int, seed uint64) (Multiprog
 		}
 		t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
 		gen := trace.NewGenerator(snap, seed*31+1)
-		for r := 0; r < budgets[i]; r++ {
-			va := gen.Next()
+		if err := replay(gen, buf, budgets[i], func(va addr.V) error {
 			if !t.Access(va).Hit {
 				t.Insert(entryForVA(va))
 			}
+			return nil
+		}); err != nil {
+			return row, err
 		}
 		row.IsolatedMisses += t.Stats().Misses
 	}
@@ -112,12 +117,15 @@ func RunMultiprogram(p trace.Profile, quantum, refs int, seed uint64) (Multiprog
 				}
 				remaining[i] -= n
 				fold := addr.V(uint64(i+1) << 40)
-				for r := 0; r < n; r++ {
-					va := gens[i].Next() | fold
+				if err := replay(gens[i], buf, n, func(va addr.V) error {
+					va |= fold
 					if !t.Access(va).Hit {
 						misses++
 						t.Insert(entryForVA(va))
 					}
+					return nil
+				}); err != nil {
+					return row, err
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"clusterpt/internal/addr"
 	"clusterpt/internal/cache"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
@@ -39,6 +40,8 @@ type ResidencyConfig struct {
 	DataLinesPerRef int
 	// Seed perturbs the trace.
 	Seed uint64
+	// Buf is the reusable replay chunk buffer (nil allocates per run).
+	Buf *ReplayBuf
 }
 
 func (c *ResidencyConfig) fill() {
@@ -105,8 +108,7 @@ func RunResidency(p trace.Profile, cfg ResidencyConfig) (ResidencyRow, error) {
 	variants := Fig11a.Variants()
 	m := memcost.NewModel(0)
 
-	touched := map[string]uint64{}
-	missed := map[string]uint64{}
+	var touched, missed lineCounts
 	var tlbMisses uint64
 
 	snaps := p.Snapshot()
@@ -115,23 +117,24 @@ func RunResidency(p trace.Profile, cfg ResidencyConfig) (ResidencyRow, error) {
 		if refs == 0 {
 			continue
 		}
-		builds := map[string]*Build{}
-		arenas := map[string]*arena{}
-		caches := map[string]*cache.Cache{}
+		// Index-aligned with variants: the replay loop stays free of map
+		// lookups and map iteration.
+		builds := make([]*Build, len(variants))
+		arenas := make([]*arena, len(variants))
+		caches := make([]*cache.Cache, len(variants))
 		for i, v := range variants {
 			b, err := BuildProcess(v, BaseOnly, snap, m)
 			if err != nil {
 				return row, err
 			}
-			builds[v.Name] = b
-			arenas[v.Name] = newArena(i, b.Table.Size().PTEBytes, 256)
-			caches[v.Name] = cache.MustNew(cache.Config{SizeBytes: cfg.CacheBytes, LineSize: 256, Ways: 4})
+			builds[i] = b
+			arenas[i] = newArena(i, b.Table.Size().PTEBytes, 256)
+			caches[i] = cache.MustNew(cache.Config{SizeBytes: cfg.CacheBytes, LineSize: 256, Ways: 4})
 		}
 		dataRng := trace.NewRNG(cfg.Seed * 7777)
 		t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
 		gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-		for i := 0; i < refs; i++ {
-			va := gen.Next()
+		err := replay(gen, cfg.Buf, refs, func(va addr.V) error {
 			// Program data churns every cache (same stream for all).
 			dataLine := dataRng.Uint64() % (uint64(cfg.CacheBytes) * 4 / 256)
 			for _, c := range caches {
@@ -140,33 +143,36 @@ func RunResidency(p trace.Profile, cfg ResidencyConfig) (ResidencyRow, error) {
 				}
 			}
 			if t.Access(va).Hit {
-				continue
+				return nil
 			}
 			tlbMisses++
-			for _, v := range variants {
-				b := builds[v.Name]
-				e, cost, ok := b.Table.Lookup(va)
+			for i, v := range variants {
+				e, cost, ok := builds[i].Table.Lookup(va)
 				if !ok {
-					return row, fmt.Errorf("%s lost %v", v.Name, va)
+					return fmt.Errorf("%s lost %v", v.Name, va)
 				}
-				touched[v.Name] += uint64(cost.Lines)
-				for _, a := range arenas[v.Name].walkAddrs(uint64(e.VPN), cost.Lines, 256) {
-					if !caches[v.Name].Access(a) {
-						missed[v.Name]++
+				touched[v.Class] += uint64(cost.Lines)
+				for _, a := range arenas[i].walkAddrs(uint64(e.VPN), cost.Lines, 256) {
+					if !caches[i].Access(a) {
+						missed[v.Class]++
 					}
 				}
-				if v.Name == "clustered" {
+				if v.Class == LCClustered {
 					t.Insert(e)
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return row, err
 		}
 	}
 	if tlbMisses == 0 {
 		return row, fmt.Errorf("sim: %s: no misses", p.Name)
 	}
 	for _, v := range variants {
-		row.TouchedPerMiss[v.Name] = float64(touched[v.Name]) / float64(tlbMisses)
-		row.MissedPerMiss[v.Name] = float64(missed[v.Name]) / float64(tlbMisses)
+		row.TouchedPerMiss[v.Name] = float64(touched[v.Class]) / float64(tlbMisses)
+		row.MissedPerMiss[v.Name] = float64(missed[v.Class]) / float64(tlbMisses)
 	}
 	return row, nil
 }
@@ -219,23 +225,26 @@ func SwTLBSweep(p trace.Profile, tableName string, cfg AccessConfig) (SwTLBRow, 
 
 		t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: cfg.Entries})
 		gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-		for i := 0; i < refs; i++ {
-			va := gen.Next()
+		err = replay(gen, cfg.Buf, refs, func(va addr.V) error {
 			if t.Access(va).Hit {
-				continue
+				return nil
 			}
 			misses++
 			e, cost, ok := rawBuild.Table.Lookup(va)
 			if !ok {
-				return row, fmt.Errorf("raw table lost %v", va)
+				return fmt.Errorf("raw table lost %v", va)
 			}
 			rawLines += uint64(cost.Lines)
 			_, swCost, ok := sw.Lookup(va)
 			if !ok {
-				return row, fmt.Errorf("swtlb lost %v", va)
+				return fmt.Errorf("swtlb lost %v", va)
 			}
 			swLines += uint64(swCost.Lines)
 			t.Insert(e)
+			return nil
+		})
+		if err != nil {
+			return row, err
 		}
 		st := sw.CacheStats()
 		swHits += st.Hits

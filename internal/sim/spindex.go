@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"clusterpt/internal/addr"
 	"clusterpt/internal/hashed"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
@@ -66,22 +67,25 @@ func SPIndexSweep(p trace.Profile, cfg AccessConfig) (SPIndexRow, error) {
 			}
 			t := tlb.MustNew(tlb.Config{Kind: tlb.Superpage, Entries: cfg.Entries})
 			gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-			for i := 0; i < refs; i++ {
-				va := gen.Next()
+			err = replay(gen, cfg.Buf, refs, func(va addr.V) error {
 				if t.Access(va).Hit {
-					continue
+					return nil
 				}
 				misses++
 				_, cost, ok := build.Table.Lookup(va)
 				if !ok {
-					return row, fmt.Errorf("sim: %s lost %v", v.name, va)
+					return fmt.Errorf("sim: %s lost %v", v.name, va)
 				}
 				lines += uint64(cost.Lines)
 				e, _, ok := canon.Table.Lookup(va)
 				if !ok {
-					return row, fmt.Errorf("sim: canon lost %v", va)
+					return fmt.Errorf("sim: canon lost %v", va)
 				}
 				t.Insert(e)
+				return nil
+			})
+			if err != nil {
+				return row, err
 			}
 			if sp, ok := build.Table.(*hashed.SPIndexTable); ok {
 				if _, maxChain := sp.ChainStats(); maxChain > row.SPIndexMaxChain {

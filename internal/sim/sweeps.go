@@ -185,22 +185,25 @@ func SearchOrderSweep(p trace.Profile, cfg AccessConfig) (SearchOrderRow, error)
 			}
 			t := tlb.MustNew(tlb.Config{Kind: tlb.PartialSubblock, Entries: cfg.Entries})
 			gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-			for i := 0; i < refs; i++ {
-				va := gen.Next()
+			err = replay(gen, cfg.Buf, refs, func(va addr.V) error {
 				if t.Access(va).Hit {
-					continue
+					return nil
 				}
 				misses++
 				_, cost, ok := build.Table.Lookup(va)
 				if !ok {
-					return row, fmt.Errorf("sweep lost %v", va)
+					return fmt.Errorf("sweep lost %v", va)
 				}
 				lines += uint64(cost.Lines)
 				e, _, ok := canon.Table.Lookup(va)
 				if !ok {
-					return row, fmt.Errorf("canon lost %v", va)
+					return fmt.Errorf("canon lost %v", va)
 				}
 				t.Insert(e)
+				return nil
+			})
+			if err != nil {
+				return row, err
 			}
 		}
 		if misses > 0 {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
@@ -38,6 +39,8 @@ type Table1Config struct {
 	MissPenalty float64
 	// Seed perturbs the traces.
 	Seed uint64
+	// Buf is the reusable replay chunk buffer (nil allocates per run).
+	Buf *ReplayBuf
 }
 
 func (c *Table1Config) fill() {
@@ -89,15 +92,18 @@ func RunTable1Row(p trace.Profile, cfg Table1Config) (Table1Row, error) {
 			t := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
 			gen := trace.NewGenerator(snap, cfg.Seed*31+1)
 			pt := builds[pi].Table
-			for i := 0; i < refs; i++ {
-				va := gen.Next()
+			err := replay(gen, cfg.Buf, refs, func(va addr.V) error {
 				if !t.Access(va).Hit {
 					e, _, ok := pt.Lookup(va)
 					if !ok {
-						return row, fmt.Errorf("sim: %s/%s lost %v", p.Name, snap.Name, va)
+						return fmt.Errorf("sim: %s/%s lost %v", p.Name, snap.Name, va)
 					}
 					t.Insert(e)
 				}
+				return nil
+			})
+			if err != nil {
+				return row, err
 			}
 			st := t.Stats()
 			// Each trace step stands for Dwell same-page references;

@@ -1,0 +1,95 @@
+package tlb
+
+// Before/after benchmarks for the resident-tag index: every kind, hit
+// and miss paths, 64–1024 entries, indexed vs the Scan reference mode.
+// `make bench-replay` snapshots these into BENCH_replay.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// benchLoad fills the TLB with ws resident base pages, one per block so
+// every kind consumes one slot per page.
+func benchLoad(t *TLB, ws int) []addr.V {
+	vas := make([]addr.V, ws)
+	for i := 0; i < ws; i++ {
+		vpn := addr.VPN(i << t.cfg.LogSBF)
+		t.Insert(pte.Entry{VPN: vpn, PPN: addr.PPN(vpn) + 1000})
+		vas[i] = addr.VAOf(vpn)
+	}
+	return vas
+}
+
+func benchmarkAccess(b *testing.B, kind Kind, entries int, scan bool) {
+	b.Run("hit", func(b *testing.B) {
+		t := MustNew(Config{Kind: kind, Entries: entries, Scan: scan})
+		vas := benchLoad(t, entries)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := t.Access(vas[i%len(vas)]); !r.Hit {
+				b.Fatal("expected hit")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		t := MustNew(Config{Kind: kind, Entries: entries, Scan: scan})
+		benchLoad(t, entries)
+		// Thrash: a universe 4x the TLB so every access misses and every
+		// service evicts, exercising lookup, victim scan, and index
+		// maintenance together.
+		universe := entries * 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vpn := addr.VPN((entries + i%universe) << 4)
+			if r := t.Access(addr.VAOf(vpn)); r.Hit {
+				b.Fatal("expected miss")
+			}
+			t.Insert(pte.Entry{VPN: vpn, PPN: addr.PPN(vpn) + 1000})
+		}
+	})
+}
+
+func BenchmarkAccess(b *testing.B) {
+	for _, kind := range diffKinds {
+		for _, entries := range []int{64, 256, 1024} {
+			for _, mode := range []struct {
+				name string
+				scan bool
+			}{{"indexed", false}, {"scan", true}} {
+				b.Run(fmt.Sprintf("%v/e%d/%s", kind, entries, mode.name), func(b *testing.B) {
+					benchmarkAccess(b, kind, entries, mode.scan)
+				})
+			}
+		}
+	}
+}
+
+// TestBatchedAccessNoAllocs pins the acceptance criterion that the
+// batched TLB access loop allocates nothing: a resident working set
+// replayed through Access must cost 0 allocs/op in every kind.
+func TestBatchedAccessNoAllocs(t *testing.T) {
+	for _, kind := range diffKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			tl := MustNew(Config{Kind: kind, Entries: 64})
+			vas := benchLoad(tl, 64)
+			i := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				for j := 0; j < 256; j++ {
+					if r := tl.Access(vas[i%len(vas)]); !r.Hit {
+						t.Fatal("expected hit")
+					}
+					i++
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("batched access loop allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}

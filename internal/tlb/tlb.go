@@ -63,6 +63,12 @@ type Config struct {
 	// LogSBF is the subblock geometry for the subblock kinds; default 4
 	// (16 subblocks, 64KB blocks).
 	LogSBF uint
+	// Scan disables the resident-tag index and restores the original
+	// O(entries) linear lookup. It is the reference model: differential
+	// tests drive a Scan TLB and an indexed TLB with the same stream and
+	// require identical results, and the before/after replay benchmarks
+	// use it as the baseline. Simulated behavior is identical either way.
+	Scan bool
 }
 
 func (c *Config) fill() error {
@@ -143,6 +149,18 @@ type TLB struct {
 	entries []entry
 	tick    uint64
 	stats   Stats
+
+	// idx indexes resident tags for O(1) lookup; nil in Scan mode.
+	idx *tlbIndex
+
+	// One-entry MRU filter: the outcome of the last Access, valid until
+	// anything changes coverage (Insert/InsertBlock/Flush). Repeating
+	// the same VPN replays the outcome — same slot touch or same miss —
+	// without probing the index.
+	mruOK   bool
+	mruVPN  addr.VPN
+	mruSlot int32 // covering slot, or -1 for a remembered miss
+	mruRes  Result
 }
 
 // New creates a TLB.
@@ -150,7 +168,11 @@ func New(cfg Config) (*TLB, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}, nil
+	t := &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}
+	if !cfg.Scan {
+		t.idx = newIndex(cfg.LogSBF)
+	}
+	return t, nil
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -185,82 +207,148 @@ func (t *TLB) covers(e *entry, vpn addr.VPN) bool {
 	return false
 }
 
+// lookupSlot returns the first slot covering vpn in slot order, or -1.
+// It is the single lookup path: Access and Translate both go through
+// it, in both indexed and Scan mode, so the two can't drift.
+func (t *TLB) lookupSlot(vpn addr.VPN) int32 {
+	if t.idx != nil {
+		return t.idx.lookup(vpn, t.entries)
+	}
+	for i := range t.entries {
+		if t.covers(&t.entries[i], vpn) {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
 // Access looks up va, updating LRU state and statistics.
 func (t *TLB) Access(va addr.V) Result {
 	vpn := addr.VPNOf(va)
 	t.tick++
 	t.stats.Accesses++
-	for i := range t.entries {
-		e := &t.entries[i]
-		if t.covers(e, vpn) {
-			e.lru = t.tick
+	if t.idx != nil && t.mruOK && t.mruVPN == vpn {
+		// Coverage is unchanged since the remembered access, so the
+		// outcome replays exactly.
+		if t.mruSlot >= 0 {
+			t.entries[t.mruSlot].lru = t.tick
 			t.stats.Hits++
 			return Result{Hit: true}
 		}
+		t.recordMiss(t.mruRes)
+		return t.mruRes
 	}
-	t.stats.Misses++
+	slot := t.lookupSlot(vpn)
+	if slot >= 0 {
+		t.entries[slot].lru = t.tick
+		t.stats.Hits++
+		t.remember(vpn, slot, Result{Hit: true})
+		return Result{Hit: true}
+	}
+	var res Result
 	if t.cfg.Kind == CompleteSubblock {
 		vpbn, _ := addr.BlockSplit(vpn, t.cfg.LogSBF)
-		if t.findBlock(vpbn) != nil {
-			t.stats.SubblockMisses++
-			return Result{SubblockMiss: true}
+		if t.findBlockSlot(vpbn) >= 0 {
+			res.SubblockMiss = true
 		}
-		t.stats.BlockMisses++
 	}
-	return Result{}
+	t.recordMiss(res)
+	t.remember(vpn, -1, res)
+	return res
 }
 
+// recordMiss bumps the miss counters for one miss with outcome res.
+func (t *TLB) recordMiss(res Result) {
+	t.stats.Misses++
+	if t.cfg.Kind == CompleteSubblock {
+		if res.SubblockMiss {
+			t.stats.SubblockMisses++
+		} else {
+			t.stats.BlockMisses++
+		}
+	}
+}
+
+// remember stores the MRU filter state (indexed mode only).
+func (t *TLB) remember(vpn addr.VPN, slot int32, res Result) {
+	if t.idx == nil {
+		return
+	}
+	t.mruOK, t.mruVPN, t.mruSlot, t.mruRes = true, vpn, slot, res
+}
+
+// forget invalidates the MRU filter; every coverage change calls it.
+func (t *TLB) forget() { t.mruOK = false }
+
 // Translate returns the frame for va if the TLB covers it, without
-// touching LRU state or statistics (a debugging aid).
+// touching LRU state or statistics (a debugging aid). It shares
+// lookupSlot with Access rather than re-dispatching on entry formats.
 func (t *TLB) Translate(va addr.V) (addr.PPN, bool) {
 	vpn := addr.VPNOf(va)
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !t.covers(e, vpn) {
-			continue
-		}
-		switch e.format {
-		case fSingle:
-			return e.ppn, true
-		case fSpan:
-			return e.ppn + addr.PPN(vpn-e.vpn), true
-		case fPSB:
-			_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
-			return e.ppn + addr.PPN(boff), true
-		case fCSB:
-			_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
-			return e.ppns[boff], true
-		}
+	slot := t.lookupSlot(vpn)
+	if slot < 0 {
+		return 0, false
+	}
+	e := &t.entries[slot]
+	switch e.format {
+	case fSingle:
+		return e.ppn, true
+	case fSpan:
+		return e.ppn + addr.PPN(vpn-e.vpn), true
+	case fPSB:
+		_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		return e.ppn + addr.PPN(boff), true
+	case fCSB:
+		_, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
+		return e.ppns[boff], true
 	}
 	return 0, false
 }
 
-func (t *TLB) findBlock(vpbn addr.VPBN) *entry {
+// findBlockSlot returns the first slot whose block tag matches vpbn
+// regardless of valid mask, or -1.
+func (t *TLB) findBlockSlot(vpbn addr.VPBN) int32 {
+	if t.idx != nil {
+		return t.idx.lookupBlock(vpbn)
+	}
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && (e.format == fCSB || e.format == fPSB) && e.vpbn == vpbn {
-			return e
+			return int32(i)
 		}
 	}
-	return nil
+	return -1
 }
 
 // victim returns the LRU slot for replacement.
-func (t *TLB) victim() *entry {
-	v := &t.entries[0]
+func (t *TLB) victim() int32 {
+	v := int32(0)
 	for i := range t.entries {
 		e := &t.entries[i]
 		if !e.valid {
-			return e
+			return int32(i)
 		}
-		if e.lru < v.lru {
-			v = e
+		if e.lru < t.entries[v].lru {
+			v = int32(i)
 		}
 	}
-	if v.valid {
+	if t.entries[v].valid {
 		t.stats.Replacements++
 	}
 	return v
+}
+
+// replace evicts slot v (updating the index) and stores e there.
+func (t *TLB) replace(v int32, e entry) {
+	if t.idx != nil {
+		if t.entries[v].valid {
+			t.idx.remove(&t.entries[v], v, t.entries)
+		}
+		t.entries[v] = e
+		t.idx.add(&t.entries[v], v)
+		return
+	}
+	t.entries[v] = e
 }
 
 // Insert loads the translation a page-table walk produced for the
@@ -276,6 +364,7 @@ func (t *TLB) victim() *entry {
 //     allocating it on a block miss.
 func (t *TLB) Insert(e pte.Entry) {
 	t.tick++
+	t.forget()
 	vpn := e.VPN
 	switch t.cfg.Kind {
 	case SinglePageSize:
@@ -305,23 +394,25 @@ func (t *TLB) Insert(e pte.Entry) {
 		}
 	case CompleteSubblock:
 		vpbn, boff := addr.BlockSplit(vpn, t.cfg.LogSBF)
-		if blk := t.findBlock(vpbn); blk != nil {
-			// Subblock miss service: add the mapping, no replacement.
+		if s := t.findBlockSlot(vpbn); s >= 0 {
+			// Subblock miss service: add the mapping, no replacement. The
+			// block tag is unchanged, so the index needs no update.
+			blk := &t.entries[s]
 			blk.mask |= 1 << boff
 			blk.ppns[boff] = e.PPN
 			blk.lru = t.tick
 			return
 		}
 		v := t.victim()
-		*v = entry{
+		t.replace(v, entry{
 			valid:  true,
 			format: fCSB,
 			vpbn:   vpbn,
 			mask:   1 << boff,
 			ppns:   make([]addr.PPN, 1<<t.cfg.LogSBF),
 			lru:    t.tick,
-		}
-		v.ppns[boff] = e.PPN
+		})
+		t.entries[v].ppns[boff] = e.PPN
 	}
 }
 
@@ -334,16 +425,18 @@ func (t *TLB) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
 		panic("tlb: InsertBlock on non-complete-subblock TLB")
 	}
 	t.tick++
-	blk := t.findBlock(vpbn)
-	if blk == nil {
-		blk = t.victim()
-		*blk = entry{
+	t.forget()
+	s := t.findBlockSlot(vpbn)
+	if s < 0 {
+		s = t.victim()
+		t.replace(s, entry{
 			valid:  true,
 			format: fCSB,
 			vpbn:   vpbn,
 			ppns:   make([]addr.PPN, 1<<t.cfg.LogSBF),
-		}
+		})
 	}
+	blk := &t.entries[s]
 	blk.lru = t.tick
 	for _, e := range entries {
 		evpbn, boff := addr.BlockSplit(e.VPN, t.cfg.LogSBF)
@@ -356,18 +449,15 @@ func (t *TLB) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
 }
 
 func (t *TLB) insertSingle(vpn addr.VPN, ppn addr.PPN) {
-	v := t.victim()
-	*v = entry{valid: true, format: fSingle, vpn: vpn, ppn: ppn, lru: t.tick}
+	t.replace(t.victim(), entry{valid: true, format: fSingle, vpn: vpn, ppn: ppn, lru: t.tick})
 }
 
 func (t *TLB) insertSpan(base addr.VPN, size addr.Size, basePPN addr.PPN) {
-	v := t.victim()
-	*v = entry{valid: true, format: fSpan, vpn: base, size: size, ppn: basePPN, lru: t.tick}
+	t.replace(t.victim(), entry{valid: true, format: fSpan, vpn: base, size: size, ppn: basePPN, lru: t.tick})
 }
 
 func (t *TLB) insertPSB(vpbn addr.VPBN, mask uint16, basePPN addr.PPN) {
-	v := t.victim()
-	*v = entry{valid: true, format: fPSB, vpbn: vpbn, mask: mask, ppn: basePPN, lru: t.tick}
+	t.replace(t.victim(), entry{valid: true, format: fPSB, vpbn: vpbn, mask: mask, ppn: basePPN, lru: t.tick})
 }
 
 // Flush invalidates every entry (context switch without ASIDs).
@@ -375,6 +465,10 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i].valid = false
 	}
+	if t.idx != nil {
+		t.idx.clear()
+	}
+	t.forget()
 }
 
 // Stats returns the traffic counters.

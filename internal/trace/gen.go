@@ -55,13 +55,28 @@ func (g *Generator) Next() addr.V {
 	if len(g.regions) == 0 {
 		return 0
 	}
-	// Weighted region choice.
+	// Weighted region choice: binary search for the first region whose
+	// cumulative weight exceeds the draw, clamped to the last region.
+	//
+	// This replaces a linear scan that advanced while x >= cum[ri], i.e.
+	// stopped at the first ri with x < cum[ri] (or the last region). The
+	// loop below computes exactly that index: it maintains the invariant
+	// that every index < lo has cum <= x and every index >= hi has
+	// cum > x or is the clamp, so it returns the same region for the
+	// same RNG draw — including the x == cum[ri] boundary, which is why
+	// this is hand-rolled with a strict < rather than sort.SearchFloat64s
+	// (whose >= predicate would step past an exact-equality draw).
 	x := g.rng.Float64() * g.total
-	ri := 0
-	for ri < len(g.cum)-1 && x >= g.cum[ri] {
-		ri++
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x < g.cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	r := &g.regions[ri]
+	r := &g.regions[lo]
 
 	var page addr.VPN
 	switch r.pattern {
@@ -95,10 +110,21 @@ func sattolo(rng *RNG, n int) []int {
 	return p
 }
 
-// Fill writes n references into out (allocating if nil) and returns it.
+// Fill overwrites out with the next references and returns the filled
+// slice. A nil out allocates capacity for n. A non-nil out is truncated
+// and reused, and generation is clamped to cap(out), so a caller-owned
+// buffer is never silently reallocated — len(result) < n tells the
+// caller its buffer was smaller than the request. Fill is exactly n
+// (or cap(out)) calls to Next, so chunking a replay through a reused
+// buffer cannot change the reference stream.
 func (g *Generator) Fill(out []addr.V, n int) []addr.V {
 	if out == nil {
 		out = make([]addr.V, 0, n)
+	} else {
+		out = out[:0]
+		if n > cap(out) {
+			n = cap(out)
+		}
 	}
 	for i := 0; i < n; i++ {
 		out = append(out, g.Next())

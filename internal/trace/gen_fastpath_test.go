@@ -1,0 +1,164 @@
+package trace
+
+// Tests pinning the generator fast path: the binary-search region
+// choice must match the original linear scan bit for bit, and buffered
+// generation through Fill must honor caller-owned capacity and
+// allocate nothing.
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+)
+
+// linearRegionChoice is the original region-selection loop, retained
+// here as the reference the binary search is checked against.
+func linearRegionChoice(cum []float64, x float64) int {
+	ri := 0
+	for ri < len(cum)-1 && x >= cum[ri] {
+		ri++
+	}
+	return ri
+}
+
+// binaryRegionChoice mirrors Next's search on a bare cum slice.
+func binaryRegionChoice(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x < cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// TestRegionChoiceEquivalence exercises the two searches on random
+// weight vectors and adversarial draws — below the first bound, beyond
+// the last, and exactly equal to every cumulative bound, where a
+// >=-predicate search (sort.SearchFloat64s) would differ.
+func TestRegionChoiceEquivalence(t *testing.T) {
+	rng := NewRNG(0xC0FFEE)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(rng.Uint64n(12))
+		cum := make([]float64, n)
+		total := 0.0
+		for i := range cum {
+			// Dyadic weights make exact x == cum[i] draws representable.
+			total += float64(1+rng.Uint64n(8)) * 0.25
+			cum[i] = total
+		}
+		draws := []float64{0, -0.5, total, total * 2}
+		for _, c := range cum {
+			draws = append(draws, c, c-0.125, c+0.125)
+		}
+		for i := 0; i < 50; i++ {
+			draws = append(draws, rng.Float64()*total)
+		}
+		for _, x := range draws {
+			lin := linearRegionChoice(cum, x)
+			bin := binaryRegionChoice(cum, x)
+			if lin != bin {
+				t.Fatalf("cum=%v x=%v: linear %d, binary %d", cum, x, lin, bin)
+			}
+		}
+	}
+}
+
+// TestNextStreamUnchanged replays a generator against an independent
+// twin that selects regions with the retained linear reference; the
+// address streams must be identical.
+func TestNextStreamUnchanged(t *testing.T) {
+	for _, name := range []string{"gcc", "mp3d", "coral"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Fatalf("no profile %s", name)
+		}
+		for _, snap := range p.Snapshot() {
+			g := NewGenerator(snap, 42)
+			ref := NewGenerator(snap, 42)
+			for i := 0; i < 20000; i++ {
+				// Reproduce Next by hand on ref using the linear choice.
+				var want addr.V
+				if len(ref.regions) > 0 {
+					x := ref.rng.Float64() * ref.total
+					ri := linearRegionChoice(ref.cum, x)
+					r := &ref.regions[ri]
+					var page addr.VPN
+					switch r.pattern {
+					case Sequential:
+						page = r.pages[r.cursor]
+						r.cursor = (r.cursor + 1) % len(r.pages)
+					case Strided:
+						page = r.pages[r.cursor]
+						r.cursor = (r.cursor + int(r.stride)) % len(r.pages)
+					case Chase:
+						page = r.pages[r.cursor]
+						r.cursor = r.perm[r.cursor]
+					default:
+						page = r.pages[ref.rng.Intn(len(r.pages))]
+					}
+					want = addr.VAOf(page) + addr.V(ref.rng.Uint64n(addr.BasePageSize)&^7)
+				}
+				if got := g.Next(); got != want {
+					t.Fatalf("%s ref %d: got %#x want %#x", name, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFillHonorsCapacity pins the reuse contract: a non-nil buffer is
+// never reallocated, and a too-small buffer yields a short fill rather
+// than a silent fresh allocation.
+func TestFillHonorsCapacity(t *testing.T) {
+	p, _ := ProfileByName("mp3d")
+	s := p.Snapshot()[0]
+	g := NewGenerator(s, 3)
+
+	buf := make([]addr.V, 0, 64)
+	out := g.Fill(buf, 64)
+	if len(out) != 64 || cap(out) != 64 || &out[0] != &buf[:1][0] {
+		t.Fatalf("full fill: len %d cap %d, storage reused %v", len(out), cap(out), len(out) > 0 && &out[0] == &buf[:1][0])
+	}
+	short := g.Fill(buf, 1000)
+	if len(short) != 64 || cap(short) != 64 {
+		t.Fatalf("oversized request: len %d cap %d, want clamped to 64", len(short), cap(short))
+	}
+	// A buffer with stale length is truncated, not appended to.
+	again := g.Fill(out, 10)
+	if len(again) != 10 || &again[0] != &buf[:1][0] {
+		t.Fatalf("reuse fill: len %d, storage reused %v", len(again), &again[0] == &buf[:1][0])
+	}
+}
+
+// TestFillNoAllocs pins the acceptance criterion that buffered
+// generation allocates nothing per chunk.
+func TestFillNoAllocs(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	s := p.Snapshot()[0]
+	g := NewGenerator(s, 3)
+	buf := make([]addr.V, 0, 4096)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = g.Fill(buf, 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fill allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkGeneratorFill measures buffered generation, the producer
+// half of the replay hot loop.
+func BenchmarkGeneratorFill(b *testing.B) {
+	p, _ := ProfileByName("gcc")
+	s := p.Snapshot()[0]
+	g := NewGenerator(s, 3)
+	buf := make([]addr.V, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(buf) {
+		buf = g.Fill(buf, 4096)
+	}
+}
