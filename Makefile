@@ -44,14 +44,16 @@ bench-alloc:
 	  $(GO) test -run '^$$' -bench BenchmarkMeterTouch -benchmem -count 3 ./internal/memcost/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_alloc.json
 
-# bench-replay measures the PR 5 reference-replay fast path — indexed
-# vs linear-scan TLB lookup, buffered zero-alloc trace generation, and
-# the end-to-end Figure 11 replay — and snapshots the result as
-# BENCH_replay.json. The indexed/scan pairs share every other line of
-# code, so the ratio isolates the index. Regenerate after TLB or replay
-# changes and commit the diff.
+# bench-replay measures the reference-replay fast path — indexed vs
+# linear-scan TLB lookup, buffered zero-alloc trace generation, and the
+# end-to-end Figure 11 replay, serial vs sharded at 1/2/4/8 lanes — and
+# snapshots the result as BENCH_replay.json. The indexed/scan pairs
+# share every other line of code, so the ratio isolates the index; the
+# serial/sharded pairs render identical bytes, so the ratio isolates
+# the pipeline. Regenerate after TLB or replay changes and commit the
+# diff.
 bench-replay:
 	{ $(GO) test -run '^$$' -bench BenchmarkAccess -benchmem -count 3 ./internal/tlb/ ; \
 	  $(GO) test -run '^$$' -bench BenchmarkGeneratorFill -benchmem -count 3 ./internal/trace/ ; \
-	  $(GO) test -run '^$$' -bench BenchmarkFigure11Replay -benchmem -count 3 ./internal/sim/ ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFigure11(Replay|Sharded)' -benchmem -count 3 ./internal/sim/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_replay.json

@@ -30,9 +30,11 @@ func TestGoldenOutput(t *testing.T) {
 
 	var buf bytes.Buffer
 	for i, exp := range []string{"table1", "fig9", "fig10", "table2", "lines"} {
-		// Vary the worker count as we go: the golden file is also a
-		// determinism check, so scheduling must not leak into the bytes.
+		// Vary the worker count and shard count as we go: the golden file
+		// is also a determinism check, so neither cell scheduling nor
+		// intra-cell lane grants may leak into the bytes.
 		*workersFlag = 1 + i%4
+		*shardsFlag = 1 + (i*3)%8
 		if err := run(context.Background(), &buf, exp); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}

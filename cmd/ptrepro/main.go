@@ -6,12 +6,14 @@
 //
 // Every experiment resolves through the engine registry
 // (internal/engine): the engine fans each experiment's cells over a
-// bounded worker pool and merges results deterministically, so output
-// is byte-identical at any -workers count for a fixed -seed/-refs.
+// bounded worker pool and merges results deterministically, and -shards
+// additionally splits each cell's replay across intra-cell lanes carved
+// from the same worker budget, so output is byte-identical at any
+// (-workers, -shards) combination for a fixed -seed/-refs.
 //
 // Usage:
 //
-//	ptrepro [-exp all|<name>] [-refs N] [-seed S] [-workers N] [-csv] [-v]
+//	ptrepro [-exp all|<name>] [-refs N] [-seed S] [-workers N] [-shards K] [-csv] [-v]
 //	ptrepro -list
 package main
 
@@ -34,6 +36,7 @@ var (
 	seedFlag    = flag.Uint64("seed", 1, "base trace seed (cells derive independent streams)")
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent experiment cells")
+	shardsFlag  = flag.Int("shards", 1, "intra-cell replay lanes (shares the -workers budget; results identical at any value)")
 	verboseFlag = flag.Bool("v", false, "log per-experiment progress to stderr")
 	listFlag    = flag.Bool("list", false, "list registered experiments and exit")
 )
@@ -57,6 +60,7 @@ func newEngine() *engine.Engine {
 		Refs:    *refsFlag,
 		Seed:    *seedFlag,
 		Workers: *workersFlag,
+		Shards:  *shardsFlag,
 		Verbose: *verboseFlag,
 	})
 }

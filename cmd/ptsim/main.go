@@ -3,7 +3,9 @@
 // cache lines accessed per TLB miss — a single cell of Figure 11, with
 // every knob exposed. A workload's processes are themselves independent
 // cells, fanned over the engine's worker pool (-workers) with per-cell
-// derived seeds, so output is identical at any worker count.
+// derived seeds; -shards grants cells extra lanes from the same budget
+// to overlap trace generation with replay. Output is identical at every
+// (-workers, -shards) combination.
 //
 // Usage:
 //
@@ -45,6 +47,7 @@ var (
 	sbf       = flag.Int("sbf", 16, "subblock factor")
 	seed      = flag.Uint64("seed", 1, "base trace seed")
 	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent process cells")
+	shards    = flag.Int("shards", 1, "intra-cell replay lanes (shares the -workers budget; results identical at any value)")
 )
 
 func main() {
@@ -104,9 +107,12 @@ type procResult struct {
 	accesses uint64
 }
 
-// simProcess drives one process's trace — one cell of the run.
+// simProcess drives one process's trace — one cell of the run. With
+// lanes > 1 a prefetch goroutine generates the trace in chunks ahead of
+// the service loop; the service order (and so every counter) is exactly
+// the serial stream order, lanes only overlap generation with replay.
 func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMode,
-	m memcost.Model, cellSeed uint64, workloadName string) (procResult, error) {
+	m memcost.Model, cellSeed uint64, workloadName string, lanes int) (procResult, error) {
 
 	var res procResult
 	pt, err := newTable(m)
@@ -119,40 +125,101 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 		return res, err
 	}
 	t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
-	gen := trace.NewGenerator(snap, cellSeed)
-	for i := 0; i < n; i++ {
-		va := gen.Next()
+	service := func(va addr.V) error {
 		r := t.Access(va)
 		if r.Hit {
-			continue
+			return nil
 		}
 		res.misses++
 		if kind == tlb.CompleteSubblock && !r.SubblockMiss {
 			br, ok := build.Table.(pagetable.BlockReader)
 			if !ok {
-				return res, fmt.Errorf("table %q cannot prefetch blocks", *tableName)
+				return fmt.Errorf("table %q cannot prefetch blocks", *tableName)
 			}
 			vpbn, _ := addr.BlockSplit(addr.VPNOf(va), 4)
 			es, cost, found := br.LookupBlock(vpbn, 4)
 			if !found {
-				return res, fmt.Errorf("lost block %#x", uint64(vpbn))
+				return fmt.Errorf("lost block %#x", uint64(vpbn))
 			}
 			res.lines += uint64(cost.Lines)
 			t.InsertBlock(vpbn, es)
-			continue
+			return nil
 		}
 		e, cost, found := build.Table.Lookup(va)
 		if !found {
-			return res, fmt.Errorf("lost %v", va)
+			return fmt.Errorf("lost %v", va)
 		}
 		res.lines += uint64(cost.Lines)
 		t.Insert(e)
+		return nil
+	}
+	if lanes > 1 {
+		if err := servicePrefetched(snap, n, cellSeed, service); err != nil {
+			return res, err
+		}
+	} else {
+		gen := trace.NewGenerator(snap, cellSeed)
+		for i := 0; i < n; i++ {
+			if err := service(gen.Next()); err != nil {
+				return res, err
+			}
+		}
 	}
 	res.accesses = uint64(n)
 	sz := build.Table.Size()
 	res.info = fmt.Sprintf("%s/%s: table=%s PTE bytes=%d nodes=%d mappings=%d",
 		workloadName, snap.Name, build.Table.Name(), sz.PTEBytes, sz.Nodes, sz.Mappings)
 	return res, nil
+}
+
+// servicePrefetched streams the generator through service with a
+// one-goroutine prefetch lane: two chunk buffers ping-pong between the
+// generator and the service loop over filled/free channels, so trace
+// generation overlaps TLB replay while service still sees every address
+// in exact stream order. The deferred close(done) releases the producer
+// if service fails mid-stream, so no goroutine leaks on error.
+func servicePrefetched(snap trace.ProcessSnapshot, n int, cellSeed uint64, service func(addr.V) error) error {
+	const chunk = 4096
+	filled := make(chan []addr.V, 2)
+	free := make(chan []addr.V, 2)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(filled)
+		gen := trace.NewGenerator(snap, cellSeed)
+		for off := 0; off < n; off += chunk {
+			c := chunk
+			if n-off < c {
+				c = n - off
+			}
+			var buf []addr.V
+			select {
+			case buf = <-free:
+			case <-done:
+				return
+			}
+			buf = buf[:0]
+			for i := 0; i < c; i++ {
+				buf = append(buf, gen.Next())
+			}
+			select {
+			case filled <- buf:
+			case <-done:
+				return
+			}
+		}
+	}()
+	free <- make([]addr.V, 0, chunk)
+	free <- make([]addr.V, 0, chunk)
+	for buf := range filled {
+		for _, va := range buf {
+			if err := service(va); err != nil {
+				return err
+			}
+		}
+		free <- buf
+	}
+	return nil
 }
 
 func run(ctx context.Context) error {
@@ -169,23 +236,23 @@ func run(ctx context.Context) error {
 	}
 	m := memcost.NewModel(*lineSize)
 
-	var cells []engine.Cell[procResult]
+	var cells []engine.ShardedCell[procResult]
 	snaps := p.Snapshot()
 	for pi, snap := range snaps {
 		n := int(float64(*refs) * p.Procs[pi].RefShare)
 		if n == 0 {
 			continue
 		}
-		cells = append(cells, engine.Cell[procResult]{
+		cells = append(cells, engine.ShardedCell[procResult]{
 			Key: "ptsim/" + p.Name + "/" + snap.Name,
-			Run: func(ctx context.Context, cellSeed uint64) (procResult, error) {
-				return simProcess(snap, n, kind, mode, m, cellSeed, p.Name)
+			Run: func(ctx context.Context, cellSeed uint64, lanes int) (procResult, error) {
+				return simProcess(snap, n, kind, mode, m, cellSeed, p.Name, lanes)
 			},
 		})
 	}
 
-	eng := engine.New(engine.Options{Refs: *refs, Seed: *seed, Workers: *workers})
-	results, err := engine.FanWith(ctx, eng, "ptsim", cells)
+	eng := engine.New(engine.Options{Refs: *refs, Seed: *seed, Workers: *workers, Shards: *shards})
+	results, err := engine.FanShardedWith(ctx, eng, "ptsim", cells)
 	if err != nil {
 		return err
 	}
@@ -197,8 +264,8 @@ func run(ctx context.Context) error {
 		totMisses += r.misses
 		totAccesses += r.accesses
 	}
-	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d workers=%d\n",
-		p.Name, *tableName, *tlbName, *entries, *lineSize, *workers)
+	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d workers=%d shards=%d\n",
+		p.Name, *tableName, *tlbName, *entries, *lineSize, *workers, *shards)
 	fmt.Printf("accesses=%d misses=%d miss-ratio=%.5f\n",
 		totAccesses, totMisses, float64(totMisses)/float64(totAccesses))
 	if totMisses > 0 {

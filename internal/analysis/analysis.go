@@ -39,6 +39,9 @@ type Config struct {
 	// sensitive; hotpathalloc flags string-keyed counter maps only
 	// inside them.
 	HotPkgs []string
+	// MergePkgs lists the packages implementing the sharded fan-out/merge
+	// pipeline; shardmerge flags order-dependent merges only inside them.
+	MergePkgs []string
 }
 
 // DefaultConfig returns the configuration enforcing this repository's
@@ -67,8 +70,9 @@ func DefaultConfig(module string) Config {
 			p("internal/hashed") + ".snode",
 			p("internal/hashed") + ".invEntry",
 		},
-		AllocPkg: p("internal/ptalloc"),
-		HotPkgs:  []string{p("internal/sim")},
+		AllocPkg:  p("internal/ptalloc"),
+		HotPkgs:   []string{p("internal/sim")},
+		MergePkgs: []string{p("internal/sim"), p("internal/engine")},
 	}
 }
 
@@ -182,6 +186,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		ArenaAlloc,
 		HotPathAlloc,
+		ShardMerge,
 	}
 }
 

@@ -137,6 +137,7 @@ func fixtureConfig(mod string) analysis.Config {
 		NodeTypes:         []string{mod + "/tab.Node", mod + "/tab.Entry"},
 		AllocPkg:          mod + "/alloc",
 		HotPkgs:           []string{mod, mod + "/hot"},
+		MergePkgs:         []string{mod, mod + "/merge"},
 	}
 }
 

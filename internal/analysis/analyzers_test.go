@@ -31,6 +31,10 @@ func TestHotPathAlloc(t *testing.T) {
 	runFixture(t, "hot", analysis.HotPathAlloc, fixtureConfig("hot"))
 }
 
+func TestShardMerge(t *testing.T) {
+	runFixture(t, "merge", analysis.ShardMerge, fixtureConfig("merge"))
+}
+
 // TestNoDeterminismScopedToConfiguredPackages pins that the analyzer is
 // silent outside Config.DeterministicPkgs: the same fixture full of
 // violations produces nothing when the config names no packages.
@@ -82,9 +86,9 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 // TestAnalyzersStable pins the suite's composition: CI and docs name
-// these six checks.
+// these seven checks.
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc", "hotpathalloc"}
+	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc", "hotpathalloc", "shardmerge"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

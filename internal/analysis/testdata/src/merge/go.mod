@@ -1,0 +1,3 @@
+module merge
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package merge is the shardmerge fixture: a stand-in for the sharded
+// fan-out/merge pipeline packages.
+package merge
+
+import "sort"
+
+// acc is a merge-shaped accumulator like sim's lineCounts.
+type acc struct {
+	n uint64
+}
+
+func (a *acc) Add(b *acc)   { a.n += b.n }
+func (a *acc) Merge(b *acc) { a.n += b.n }
+
+// counter mimics bookkeeping structs like engine's RunContext: merge
+// calls through a selector chain are bookkeeping, not result merges.
+type counter struct {
+	done *acc
+}
+
+func ChanRangeMergeCall(ch chan *acc, total *acc) {
+	for part := range ch {
+		total.Add(part) // want:shardmerge merge order is completion order
+	}
+}
+
+func ChanRangeFloatAccum(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want:shardmerge float addition is not associative
+	}
+	return sum
+}
+
+func ChanRangeAppend(ch chan int) []int {
+	var out []int
+	for v := range ch {
+		out = append(out, v) // want:shardmerge delivery order is completion order
+	}
+	return out
+}
+
+func MapRangeMergeCall(parts map[string]*acc, total *acc) {
+	for _, p := range parts {
+		total.Merge(p) // want:shardmerge Go randomizes map iteration order
+	}
+}
+
+// IndexedMerge is the sanctioned channel shape: results land by index,
+// and the fold over them runs in fixed order after the lanes drain.
+func IndexedMerge(ch chan struct {
+	i int
+	v uint64
+}, n int) uint64 {
+	results := make([]uint64, n)
+	for r := range ch {
+		results[r.i] = r.v
+	}
+	var total uint64
+	for _, v := range results {
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned map shape: sort first, then merge over
+// the slice in deterministic key order.
+func SortedKeys(parts map[string]*acc, total *acc) {
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total.Add(parts[k])
+	}
+}
+
+// IntAccum is fine: uint64 addition commutes, which is exactly why the
+// sharded replay's per-lane counters may merge in any order.
+func IntAccum(ch chan uint64) uint64 {
+	var total uint64
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// LaneLocal is fine: the accumulator is declared inside the range, so
+// nothing shared is mutated in delivery order.
+func LaneLocal(ch chan *acc) {
+	for part := range ch {
+		local := &acc{}
+		local.Add(part)
+	}
+}
+
+// SelectorReceiver is fine by design: rc.done.Add(1)-style bookkeeping
+// through a selector chain is not a result merge.
+func SelectorReceiver(ch chan int, c *counter) {
+	for range ch {
+		c.done.Add(&acc{n: 1})
+	}
+}
+
+// AllowedMerge carries a justification: a progress tally whose order
+// cannot show in output.
+func AllowedMerge(ch chan *acc, progress *acc) {
+	for part := range ch {
+		progress.Add(part) //ptlint:allow shardmerge progress tally only feeds a live spinner, never rendered output
+	}
+}

@@ -168,6 +168,12 @@ type Options struct {
 	Seed uint64
 	// Workers bounds concurrent cells (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the intra-cell lane budget for experiments that support
+	// sharded replay (FanSharded): each cell may split its replay across
+	// up to this many goroutine lanes, carved out of the same Workers
+	// budget rather than added to it. 0 or 1 runs every cell serially.
+	// Results are byte-identical at every value.
+	Shards int
 	// Verbose logs per-experiment progress lines to Log.
 	Verbose bool
 	// Log receives progress output (nil = os.Stderr).
@@ -187,6 +193,9 @@ func (o *Options) fill() {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	if o.Log == nil {
 		o.Log = os.Stderr

@@ -32,7 +32,8 @@ func renderAll(t *testing.T, results []ExperimentResult) []byte {
 func TestRegistryOrderAndNames(t *testing.T) {
 	want := []string{
 		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
-		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog", "verify",
+		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog",
+		"partition", "verify",
 		"concurrent-lookup", "concurrent-mixed",
 	}
 	got := Default().Names()
@@ -134,6 +135,60 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if len(serial) == 0 {
 		t.Fatal("no output rendered")
+	}
+}
+
+// TestDeterministicAcrossShards pins the nested-parallelism guarantee:
+// the (-workers, -shards) grid renders byte-identical tables. The
+// experiments covered are the sharded-replay consumer (fig11a) and the
+// partition what-if; full "all" coverage at shards>1 rides on
+// TestDeterministicAcrossWorkers plus the sim-level shard identity
+// tests.
+func TestDeterministicAcrossShards(t *testing.T) {
+	run := func(workers, shards int) []byte {
+		var out []byte
+		for _, exp := range []string{"fig11a", "partition"} {
+			eng := New(Options{Refs: 10_000, Seed: 3, Workers: workers, Shards: shards, Log: io.Discard})
+			results, err := eng.Run(context.Background(), exp)
+			if err != nil {
+				t.Fatalf("workers=%d shards=%d %s: %v", workers, shards, exp, err)
+			}
+			out = append(out, renderAll(t, results)...)
+		}
+		return out
+	}
+	base := run(1, 1)
+	if len(base) == 0 {
+		t.Fatal("no output rendered")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := run(workers, shards)
+			if !bytes.Equal(base, got) {
+				d := firstDiff(base, got)
+				t.Fatalf("workers=%d shards=%d diverges at byte %d:\nbase: %q\ngot:  %q",
+					workers, shards, d, clip(base, d), clip(got, d))
+			}
+		}
+	}
+}
+
+// TestBudgetTryAcquire pins the spare-token pool's non-blocking
+// semantics.
+func TestBudgetTryAcquire(t *testing.T) {
+	b := NewBudget(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d from a pool of 3", got)
+	}
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) = %d with 1 token left", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1) = %d from an empty pool", got)
+	}
+	b.Release(3)
+	if got := b.TryAcquire(4); got != 3 {
+		t.Fatalf("TryAcquire(4) = %d after releasing 3", got)
 	}
 }
 

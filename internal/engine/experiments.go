@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
 	"clusterpt/internal/report"
 	"clusterpt/internal/sim"
+	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
 )
 
@@ -72,6 +75,11 @@ func init() {
 		Name:        "multiprog",
 		Description: "§7 extension: multiprogrammed TLB interference",
 		Run:         runMultiprog,
+	})
+	mustRegister(Experiment{
+		Name:        "partition",
+		Description: "what-if: region-partitioned TLB slices vs the shared TLB (miss inflation)",
+		Run:         runPartition,
 	})
 	mustRegister(Experiment{
 		Name:        "verify",
@@ -220,12 +228,14 @@ var fig11Titles = map[sim.Figure]string{
 
 func runFig11(ctx context.Context, rc *RunContext, f sim.Figure) (*Result, error) {
 	profiles := tracedProfiles()
-	cells := make([]Cell[sim.AccessRow], len(profiles))
+	cells := make([]ShardedCell[sim.AccessRow], len(profiles))
 	for i, p := range profiles {
-		cells[i] = Cell[sim.AccessRow]{
+		cells[i] = ShardedCell[sim.AccessRow]{
 			Key: f.String() + "/" + p.Name,
-			Run: func(ctx context.Context, seed uint64) (sim.AccessRow, error) {
-				row, err := sim.RunFigure11(f, p, sim.AccessConfig{Refs: rc.Refs, Seed: seed, Buf: sim.ReplayBufFrom(ctx)})
+			Run: func(ctx context.Context, seed uint64, lanes int) (sim.AccessRow, error) {
+				row, err := sim.RunFigure11(f, p, sim.AccessConfig{
+					Refs: rc.Refs, Seed: seed, Shards: lanes, Buf: sim.ReplayBufFrom(ctx),
+				})
 				if err == nil {
 					rc.CountRefs(row.RefAccesses)
 				}
@@ -233,7 +243,7 @@ func runFig11(ctx context.Context, rc *RunContext, f sim.Figure) (*Result, error
 			},
 		}
 	}
-	rows, err := Fan(ctx, rc, cells)
+	rows, err := FanSharded(ctx, rc, rc.Shards(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -535,6 +545,106 @@ func runSwTLB(ctx context.Context, rc *RunContext) (*Result, error) {
 			fmt.Sprintf("%.2f", row.SwHitRate))
 	}
 	return tables(t), nil
+}
+
+// --- partitioned-TLB what-if ---
+
+// partitionRow is one (workload, k) point of the partition experiment.
+type partitionRow struct {
+	Workload    string
+	K           int
+	Serial      uint64
+	Partitioned uint64
+}
+
+// runPartition quantifies why the figure path keeps one shared TLB as
+// its reference model (DESIGN.md §10): routing each ShardPlan shard's
+// regions to a private TLB slice preserves aggregate capacity but not
+// the shared true-LRU policy, so misses inflate whenever a region's
+// working set exceeds its slice. The experiment drives the same stream
+// through both organizations and reports the inflation.
+func runPartition(ctx context.Context, rc *RunContext) (*Result, error) {
+	type point struct {
+		workload string
+		k        int
+	}
+	var points []point
+	for _, w := range []string{"gcc", "coral", "ML"} {
+		for _, k := range []int{2, 4} {
+			points = append(points, point{w, k})
+		}
+	}
+	cells := make([]Cell[partitionRow], len(points))
+	for i, pt := range points {
+		cells[i] = Cell[partitionRow]{
+			Key: fmt.Sprintf("partition/%s/k%d", pt.workload, pt.k),
+			Run: func(ctx context.Context, seed uint64) (partitionRow, error) {
+				refs := rc.Refs / 4 // one shared-vs-partitioned pass needs no figure-scale budget
+				if refs < 1 {
+					refs = 1
+				}
+				rc.CountRefs(uint64(refs))
+				return runPartitionCell(mustProfile(pt.workload), pt.k, refs, seed)
+			},
+		}
+	}
+	rows, err := Fan(ctx, rc, cells)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("What-if: region-partitioned TLB slices vs one shared 64-entry TLB",
+		"workload", "slices", "shared misses", "partitioned misses", "inflation")
+	for _, row := range rows {
+		t.Row(row.Workload, row.K, row.Serial, row.Partitioned,
+			fmt.Sprintf("%.2fx", float64(row.Partitioned)/float64(row.Serial)))
+	}
+	return tables(t), nil
+}
+
+// runPartitionCell replays one workload's first process against a
+// shared TLB and a ShardPlan-routed partitioned TLB.
+func runPartitionCell(p trace.Profile, k, refs int, seed uint64) (partitionRow, error) {
+	snap := p.Snapshot()[0]
+	plan := trace.ShardPlan(snap, k)
+	pageShard := make(map[addr.VPN]int)
+	ri := 0
+	for _, r := range snap.Regions {
+		if len(r.Pages) == 0 || r.Spec.Weight <= 0 {
+			continue // regions the generator (and ShardPlan) skip
+		}
+		for _, pg := range r.Pages {
+			pageShard[pg] = plan[ri]
+		}
+		ri++
+	}
+	route := func(va addr.V) int { return pageShard[addr.VPNOf(va)] }
+
+	shared := tlb.MustNew(tlb.Config{Entries: 64})
+	part, err := tlb.NewPartitioned(tlb.Config{Entries: 64}, k, route)
+	if err != nil {
+		return partitionRow{}, err
+	}
+	gen := trace.NewGenerator(snap, seed)
+	for i := 0; i < refs; i++ {
+		va := gen.Next()
+		vpn := addr.VPNOf(va)
+		e := pte.Entry{VPN: vpn, PPN: addr.PPN(vpn), Size: addr.Size4K, Kind: pte.KindBase}
+		if !shared.Access(va).Hit {
+			shared.Insert(e)
+		}
+		if !part.Access(va).Hit {
+			part.Insert(e)
+		}
+	}
+	if shared.Stats().Misses == 0 {
+		return partitionRow{}, fmt.Errorf("partition: %s: no misses to compare", p.Name)
+	}
+	return partitionRow{
+		Workload:    p.Name,
+		K:           k,
+		Serial:      shared.Stats().Misses,
+		Partitioned: part.Stats().Misses,
+	}, nil
 }
 
 // --- §7 multiprogramming extension ---

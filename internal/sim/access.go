@@ -76,6 +76,12 @@ type AccessConfig struct {
 	// Buf, when set, is the reusable chunk buffer replay fills; the
 	// engine passes each worker's. Nil allocates per run.
 	Buf *ReplayBuf
+	// Shards is the intra-cell lane budget: 0 or 1 replays serially,
+	// k > 1 runs the fan-out/merge pipeline (shard.go) across k
+	// goroutine lanes. Results are byte-identical at every value — the
+	// pipeline is an exact functional decomposition of the serial
+	// replay, not an approximation (DESIGN.md §10).
+	Shards int
 	// ScanTLB runs the simulated TLBs in linear-scan reference mode
 	// (tlb.Config.Scan) — results are identical, only speed differs. It
 	// exists for the before/after replay benchmarks.
@@ -147,61 +153,86 @@ func RunFigure11(f Figure, p trace.Profile, cfg AccessConfig) (AccessRow, error)
 	return row, nil
 }
 
-// runProcess drives one process's trace through the figure's TLB and
-// page tables.
-func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig) (lineCounts, uint64, uint64, uint64, error) {
-	kind := f.TLBKind()
-	mode := f.Mode()
-	variants := f.Variants()
+// figureState is one process's simulation state: the variant page
+// tables, the reference TLB, and the linear variants' TLB pairs. The
+// serial and sharded replay paths build it identically; only the loop
+// structure around it differs.
+type figureState struct {
+	variants  []TableVariant
+	builds    []*Build
+	canonical pagetable.PageTable
+	refTLB    *tlb.TLB
+	lins      []*linState
+}
 
-	var lines lineCounts
+// newFigureState builds the figure's page tables and TLBs for one
+// process snapshot.
+func newFigureState(f Figure, snap trace.ProcessSnapshot, cfg AccessConfig) (*figureState, error) {
+	st := &figureState{variants: f.Variants()}
+	mode := f.Mode()
+
 	// builds is index-aligned with variants; the replay loop never keys
 	// by name.
-	builds := make([]*Build, len(variants))
-	var canonical pagetable.PageTable
-	for i, v := range variants {
+	st.builds = make([]*Build, len(st.variants))
+	for i, v := range st.variants {
 		b, err := BuildProcess(v, mode, snap, cfg.LineModel)
 		if err != nil {
-			return lines, 0, 0, 0, err
+			return nil, err
 		}
-		builds[i] = b
+		st.builds[i] = b
 		if v.Class == LCClustered {
-			canonical = b.Table
+			st.canonical = b.Table
 		}
 	}
 
-	refTLB := tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries, Scan: cfg.ScanTLB})
+	kind := f.TLBKind()
+	st.refTLB = tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries, Scan: cfg.ScanTLB})
 
 	// Linear page tables run their own, smaller TLB plus the reserved
 	// page-table-mapping entries (§6.1).
-	var lins []*linState
-	for i, v := range variants {
+	for i, v := range st.variants {
 		if v.ReservedTLB == 0 {
 			continue
 		}
-		lt, ok := builds[i].Table.(*linear.Table)
+		lt, ok := st.builds[i].Table.(*linear.Table)
 		if !ok {
-			return lines, 0, 0, 0, fmt.Errorf("reserved-TLB variant %q is not linear", v.Name)
+			return nil, fmt.Errorf("reserved-TLB variant %q is not linear", v.Name)
 		}
-		lins = append(lins, &linState{
+		st.lins = append(st.lins, &linState{
 			main:  tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries - v.ReservedTLB, Scan: cfg.ScanTLB}),
 			pt:    tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: v.ReservedTLB, Scan: cfg.ScanTLB}),
 			table: lt,
 			class: v.Class,
 		})
 	}
+	return st, nil
+}
+
+// runProcess drives one process's trace through the figure's TLB and
+// page tables. With cfg.Shards > 1 it hands the replay to the sharded
+// fan-out/merge pipeline; the results are identical either way.
+func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig) (lineCounts, uint64, uint64, uint64, error) {
+	if cfg.Shards > 1 {
+		return runProcessSharded(f, snap, refs, cfg, cfg.Shards)
+	}
+
+	var lines lineCounts
+	st, err := newFigureState(f, snap, cfg)
+	if err != nil {
+		return lines, 0, 0, 0, err
+	}
 
 	gen := trace.NewGenerator(snap, cfg.Seed*31+1)
 	var misses, nested uint64
-	err := replay(gen, cfg.Buf, refs, func(va addr.V) error {
-		res := refTLB.Access(va)
+	err = replay(gen, cfg.Buf, refs, func(va addr.V) error {
+		res := st.refTLB.Access(va)
 		if !res.Hit {
 			misses++
-			if err := serviceMiss(f, va, res, refTLB, canonical, builds, variants, &lines); err != nil {
+			if err := serviceMiss(f, va, res, st.refTLB, st.canonical, st.builds, st.variants, &lines); err != nil {
 				return err
 			}
 		}
-		for _, ls := range lins {
+		for _, ls := range st.lins {
 			n, err := serviceLinear(f, va, ls, &lines)
 			if err != nil {
 				return err

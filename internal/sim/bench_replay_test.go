@@ -44,6 +44,31 @@ func BenchmarkFigure11Replay(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure11Sharded measures the fan-out/merge pipeline against
+// the serial baseline above (Figure11Replay/e64/indexed): the same
+// Figure 11a run at lane counts 1 through 8. s1 is the serial loop via
+// the dispatch fallthrough; s2+ split the replay across the driver,
+// linear, and walk lanes with memoized pure lookups, which is where the
+// speedup comes from even on a single core.
+func BenchmarkFigure11Sharded(b *testing.B) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		b.Fatal("no gcc profile")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("s%d", shards), func(b *testing.B) {
+			cfg := AccessConfig{Refs: 400_000, Seed: 1, Shards: shards, Buf: &ReplayBuf{}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunFigure11(Fig11a, p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestFigure11ScanModeIdentical pins that ScanTLB changes nothing but
 // speed: the row computed through the indexed TLBs equals the row
 // computed through the linear-scan reference, field for field.

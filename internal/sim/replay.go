@@ -19,30 +19,63 @@ import (
 // amortize loop setup, small enough to stay cache-resident (32KB).
 const replayChunk = 4096
 
-// ReplayBuf is a reusable reference buffer for the replay loops. The
-// engine hands each worker one, so a worker's cells share a single
-// chunk allocation for the whole run; a nil *ReplayBuf still works and
-// allocates one chunk per replay.
+// ReplayBuf is a reusable chunk-buffer free list for the replay loops.
+// The engine hands each worker one, so a worker's cells share chunk
+// allocations for the whole run; a nil *ReplayBuf still works and
+// allocates per replay.
+//
+// It is a free list rather than a single slot because the sharded
+// replay pipeline keeps several chunks in flight at once (reference
+// and miss buffers per pipeline stage), and because take used to
+// discard a grown backing array whenever a later caller asked for a
+// different chunk size — every buffer returned through put stays
+// available for any subsequent take it can satisfy. Not safe for
+// concurrent use: only the pipeline's driver goroutine touches it.
 type ReplayBuf struct {
-	va []addr.V
+	free [][]addr.V
 }
 
-// take returns an empty chunk of capacity n backed by the buffer,
-// allocating only on first use or growth.
+// take returns an empty chunk with capacity at least n, reusing the
+// largest-capacity free buffer that satisfies the request and
+// allocating only when none does.
 func (b *ReplayBuf) take(n int) []addr.V {
 	if b == nil {
 		return make([]addr.V, 0, n)
 	}
-	if cap(b.va) < n {
-		b.va = make([]addr.V, 0, n)
+	best := -1
+	for i, s := range b.free {
+		if cap(s) < n {
+			continue
+		}
+		if best < 0 || cap(s) > cap(b.free[best]) {
+			best = i
+		}
 	}
-	return b.va[:0]
+	if best < 0 {
+		return make([]addr.V, 0, n)
+	}
+	s := b.free[best]
+	last := len(b.free) - 1
+	b.free[best] = b.free[last]
+	b.free = b.free[:last]
+	return s[:0]
+}
+
+// put returns a chunk to the free list for later takes. Zero-capacity
+// slices are dropped; everything else is retained regardless of the
+// size it was taken at, so growth is never thrown away.
+func (b *ReplayBuf) put(s []addr.V) {
+	if b == nil || cap(s) == 0 {
+		return
+	}
+	b.free = append(b.free, s)
 }
 
 // replay streams refs references from gen through step in buffered
 // chunks. step returning an error aborts the replay.
 func replay(gen *trace.Generator, buf *ReplayBuf, refs int, step func(addr.V) error) error {
 	chunk := buf.take(replayChunk)
+	defer func() { buf.put(chunk) }()
 	for refs > 0 {
 		n := replayChunk
 		if n > refs {

@@ -1,0 +1,119 @@
+package sim
+
+// Identity tests for the sharded replay pipeline: every lane count must
+// reproduce the serial row field for field — same misses, same nested
+// count, same per-variant average lines to the last bit. The shard/merge
+// contract (DESIGN.md §10) promises exact functional decomposition, so
+// these tests compare with ==, never with tolerances.
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterpt/internal/trace"
+)
+
+// figureRowsEqual compares two AccessRows field for field.
+func figureRowsEqual(t *testing.T, label string, got, want AccessRow) {
+	t.Helper()
+	if got.RefMisses != want.RefMisses || got.RefAccesses != want.RefAccesses ||
+		got.LinearNested != want.LinearNested {
+		t.Fatalf("%s: counters diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+	if len(got.AvgLines) != len(want.AvgLines) {
+		t.Fatalf("%s: variant sets diverged: %v vs %v", label, got.AvgLines, want.AvgLines)
+	}
+	for name, v := range want.AvgLines {
+		if got.AvgLines[name] != v {
+			t.Fatalf("%s %s: %v != %v", label, name, got.AvgLines[name], v)
+		}
+	}
+}
+
+// TestFigure11ShardIdentity is the acceptance gate for the pipeline:
+// for two workloads (gcc: multi-process, mixed patterns; mp3d:
+// single-process) and all four figures, the sharded row at lane counts
+// 1, 2, 4, and 8 equals the serial row exactly. Shards=1 exercises the
+// dispatch fallthrough to the serial loop.
+func TestFigure11ShardIdentity(t *testing.T) {
+	for _, name := range []string{"gcc", "mp3d"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			t.Fatalf("no %s profile", name)
+		}
+		for _, f := range []Figure{Fig11a, Fig11b, Fig11c, Fig11d} {
+			serial, err := RunFigure11(f, p, AccessConfig{Refs: 50_000, Buf: &ReplayBuf{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				row, err := RunFigure11(f, p, AccessConfig{
+					Refs: 50_000, Shards: shards, Buf: &ReplayBuf{},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				figureRowsEqual(t, fmt.Sprintf("%s/%v/shards=%d", name, f, shards), row, serial)
+			}
+		}
+	}
+}
+
+// TestFigure11ShardIdentityTinyRefs drives the zero-reference-cell edge:
+// with a tiny total budget, RefShare rounds some of gcc's processes down
+// to zero references, and the remaining stream is shorter than one chunk
+// and not divisible by the lane count. The sharded rows must still match
+// serially.
+func TestFigure11ShardIdentityTinyRefs(t *testing.T) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	const refs = 9 // gcc's 0.1-share processes round to zero references
+	zeroed := false
+	for _, pr := range p.Procs {
+		if int(float64(refs)*pr.RefShare) == 0 {
+			zeroed = true
+		}
+	}
+	if !zeroed {
+		t.Fatalf("want at least one process rounded to zero references at Refs=%d", refs)
+	}
+	serial, err := RunFigure11(Fig11a, p, AccessConfig{Refs: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		row, err := RunFigure11(Fig11a, p, AccessConfig{Refs: refs, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		figureRowsEqual(t, fmt.Sprintf("tiny/shards=%d", shards), row, serial)
+	}
+}
+
+// TestReplayBufShardedSteadyStateAllocs pins satellite (a): the free
+// list retains grown buffers across takes of differing sizes, so a
+// warmed ReplayBuf serves the sharded pipeline's multi-buffer pattern
+// without allocating.
+func TestReplayBufShardedSteadyStateAllocs(t *testing.T) {
+	buf := &ReplayBuf{}
+	cycle := func() {
+		// The pipeline's pattern: several chunks live at once, taken at
+		// mixed sizes (reference buffers at replayChunk, miss buffers
+		// smaller), returned in arbitrary order.
+		a := buf.take(replayChunk)
+		b := buf.take(replayChunk / 4)
+		c := buf.take(replayChunk)
+		d := buf.take(replayChunk / 2)
+		a = append(a[:0], 1)
+		buf.put(c)
+		buf.put(a)
+		buf.put(d)
+		buf.put(b)
+	}
+	cycle() // warm: populate the free list with grown buffers
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("warmed ReplayBuf allocates %v times per cycle", allocs)
+	}
+}

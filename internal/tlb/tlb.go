@@ -153,6 +153,21 @@ type TLB struct {
 	// idx indexes resident tags for O(1) lookup; nil in Scan mode.
 	idx *tlbIndex
 
+	// lruPrev/lruNext thread the valid slots into a doubly-linked list
+	// in ascending-lru order (lruHead is the coldest), and free is the
+	// fill watermark: slots at or above it have never held an entry
+	// since the last Flush. Together they make victim O(1). Indexed
+	// mode only — Scan mode keeps the O(entries) victim scan as the
+	// reference implementation. The list reproduces the scan's choice
+	// exactly: lru values are unique (at most one entry's lru is
+	// written per tick), so the minimum the scan finds is the list
+	// head; and since replace only ever fills victim's choice, invalid
+	// slots are consumed in ascending index order, which is the scan's
+	// invalid-first order.
+	lruPrev, lruNext []int32
+	lruHead, lruTail int32
+	free             int32
+
 	// One-entry MRU filter: the outcome of the last Access, valid until
 	// anything changes coverage (Insert/InsertBlock/Flush). Repeating
 	// the same VPN replays the outcome — same slot touch or same miss —
@@ -171,6 +186,9 @@ func New(cfg Config) (*TLB, error) {
 	t := &TLB{cfg: cfg, entries: make([]entry, cfg.Entries)}
 	if !cfg.Scan {
 		t.idx = newIndex(cfg.LogSBF)
+		t.lruPrev = make([]int32, cfg.Entries)
+		t.lruNext = make([]int32, cfg.Entries)
+		t.lruHead, t.lruTail = -1, -1
 	}
 	return t, nil
 }
@@ -232,6 +250,7 @@ func (t *TLB) Access(va addr.V) Result {
 		// outcome replays exactly.
 		if t.mruSlot >= 0 {
 			t.entries[t.mruSlot].lru = t.tick
+			t.lruTouch(t.mruSlot)
 			t.stats.Hits++
 			return Result{Hit: true}
 		}
@@ -241,6 +260,9 @@ func (t *TLB) Access(va addr.V) Result {
 	slot := t.lookupSlot(vpn)
 	if slot >= 0 {
 		t.entries[slot].lru = t.tick
+		if t.idx != nil {
+			t.lruTouch(slot)
+		}
 		t.stats.Hits++
 		t.remember(vpn, slot, Result{Hit: true})
 		return Result{Hit: true}
@@ -320,8 +342,55 @@ func (t *TLB) findBlockSlot(vpbn addr.VPBN) int32 {
 	return -1
 }
 
-// victim returns the LRU slot for replacement.
+// lruUnlink removes slot v from the recency list.
+func (t *TLB) lruUnlink(v int32) {
+	p, n := t.lruPrev[v], t.lruNext[v]
+	if p >= 0 {
+		t.lruNext[p] = n
+	} else {
+		t.lruHead = n
+	}
+	if n >= 0 {
+		t.lruPrev[n] = p
+	} else {
+		t.lruTail = p
+	}
+}
+
+// lruAppend makes slot v the most recently used.
+func (t *TLB) lruAppend(v int32) {
+	t.lruPrev[v] = t.lruTail
+	t.lruNext[v] = -1
+	if t.lruTail >= 0 {
+		t.lruNext[t.lruTail] = v
+	} else {
+		t.lruHead = v
+	}
+	t.lruTail = v
+}
+
+// lruTouch moves slot v to the MRU end; callers pair it with every lru
+// assignment so the list order stays the lru order.
+func (t *TLB) lruTouch(v int32) {
+	if t.lruTail == v {
+		return
+	}
+	t.lruUnlink(v)
+	t.lruAppend(v)
+}
+
+// victim returns the LRU slot for replacement: the lowest-index invalid
+// slot if one exists, else the least recently used entry.
 func (t *TLB) victim() int32 {
+	if t.idx != nil {
+		if int(t.free) < len(t.entries) {
+			v := t.free
+			t.free++
+			return v
+		}
+		t.stats.Replacements++
+		return t.lruHead
+	}
 	v := int32(0)
 	for i := range t.entries {
 		e := &t.entries[i]
@@ -343,9 +412,11 @@ func (t *TLB) replace(v int32, e entry) {
 	if t.idx != nil {
 		if t.entries[v].valid {
 			t.idx.remove(&t.entries[v], v, t.entries)
+			t.lruUnlink(v)
 		}
 		t.entries[v] = e
 		t.idx.add(&t.entries[v], v)
+		t.lruAppend(v)
 		return
 	}
 	t.entries[v] = e
@@ -401,6 +472,9 @@ func (t *TLB) Insert(e pte.Entry) {
 			blk.mask |= 1 << boff
 			blk.ppns[boff] = e.PPN
 			blk.lru = t.tick
+			if t.idx != nil {
+				t.lruTouch(s)
+			}
 			return
 		}
 		v := t.victim()
@@ -438,6 +512,9 @@ func (t *TLB) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
 	}
 	blk := &t.entries[s]
 	blk.lru = t.tick
+	if t.idx != nil {
+		t.lruTouch(s)
+	}
 	for _, e := range entries {
 		evpbn, boff := addr.BlockSplit(e.VPN, t.cfg.LogSBF)
 		if evpbn != vpbn {
@@ -467,6 +544,8 @@ func (t *TLB) Flush() {
 	}
 	if t.idx != nil {
 		t.idx.clear()
+		t.lruHead, t.lruTail = -1, -1
+		t.free = 0
 	}
 	t.forget()
 }

@@ -55,17 +55,22 @@ func (g *Generator) Next() addr.V {
 	if len(g.regions) == 0 {
 		return 0
 	}
-	// Weighted region choice: binary search for the first region whose
-	// cumulative weight exceeds the draw, clamped to the last region.
-	//
-	// This replaces a linear scan that advanced while x >= cum[ri], i.e.
-	// stopped at the first ri with x < cum[ri] (or the last region). The
-	// loop below computes exactly that index: it maintains the invariant
-	// that every index < lo has cum <= x and every index >= hi has
-	// cum > x or is the clamp, so it returns the same region for the
-	// same RNG draw — including the x == cum[ri] boundary, which is why
-	// this is hand-rolled with a strict < rather than sort.SearchFloat64s
-	// (whose >= predicate would step past an exact-equality draw).
+	return g.emit(g.drawRegion())
+}
+
+// drawRegion consumes exactly one draw and returns the chosen region
+// index. Weighted region choice: binary search for the first region
+// whose cumulative weight exceeds the draw, clamped to the last region.
+//
+// This replaces a linear scan that advanced while x >= cum[ri], i.e.
+// stopped at the first ri with x < cum[ri] (or the last region). The
+// loop below computes exactly that index: it maintains the invariant
+// that every index < lo has cum <= x and every index >= hi has
+// cum > x or is the clamp, so it returns the same region for the
+// same RNG draw — including the x == cum[ri] boundary, which is why
+// this is hand-rolled with a strict < rather than sort.SearchFloat64s
+// (whose >= predicate would step past an exact-equality draw).
+func (g *Generator) drawRegion() int {
 	x := g.rng.Float64() * g.total
 	lo, hi := 0, len(g.cum)-1
 	for lo < hi {
@@ -76,8 +81,16 @@ func (g *Generator) Next() addr.V {
 			lo = mid + 1
 		}
 	}
-	r := &g.regions[lo]
+	return lo
+}
 
+// emit consumes region ri's draws — one for the Random pattern's page
+// choice plus one for the byte offset — advances its cursor, and
+// returns the referenced address. drawRegion and emit together are
+// exactly Next, split so a sharded generator can substitute skipDraws
+// for emit on references it does not own.
+func (g *Generator) emit(ri int) addr.V {
+	r := &g.regions[ri]
 	var page addr.VPN
 	switch r.pattern {
 	case Sequential:
@@ -93,6 +106,21 @@ func (g *Generator) Next() addr.V {
 		page = r.pages[g.rng.Intn(len(r.pages))]
 	}
 	return addr.VAOf(page) + addr.V(g.rng.Uint64n(addr.BasePageSize)&^7)
+}
+
+// skipDraws advances the RNG past the draws emit(ri) would consume,
+// without touching region ri's cursor. Cursor-driven patterns
+// (Sequential/Strided/Chase) draw only the byte offset; Random also
+// draws the page choice. A shard skipping a reference it does not own
+// must leave the RNG exactly where the owner's emit leaves it, and the
+// owner's cursor state depends only on how many references chose its
+// regions — which every shard observes identically via drawRegion.
+func (g *Generator) skipDraws(ri int) {
+	if g.regions[ri].pattern == Random {
+		g.rng.Skip(2)
+		return
+	}
+	g.rng.Skip(1)
 }
 
 // sattolo builds a single-cycle permutation: following it from any start
