@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPTERoundTrip -fuzztime $(FUZZTIME) ./internal/pte/
 	$(GO) test -run '^$$' -fuzz FuzzArenaOps -fuzztime $(FUZZTIME) ./internal/ptalloc/
 	$(GO) test -run '^$$' -fuzz FuzzTLBIndex -fuzztime $(FUZZTIME) ./internal/tlb/
+	$(GO) test -run '^$$' -fuzz FuzzChurnOps -fuzztime $(FUZZTIME) ./internal/sim/
 
 # bench runs every benchmark once — a compile-and-smoke pass, not a
 # measurement; use -benchtime with the go tool directly for numbers.

@@ -82,6 +82,11 @@ func init() {
 		Run:         runPartition,
 	})
 	mustRegister(Experiment{
+		Name:        "churn",
+		Description: "dynamic churn: map/unmap/promote replay, time-series misses + fragmentation",
+		Run:         runChurn,
+	})
+	mustRegister(Experiment{
 		Name:        "verify",
 		Description: "reproduction self-check: headline claims as executable assertions",
 		Run:         runVerify,

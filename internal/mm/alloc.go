@@ -49,8 +49,23 @@ type blockState struct {
 	owner resvKey
 	// hasOwner marks an active reservation.
 	hasOwner bool
+	// stamp is the sequence number of the block's current reservation.
+	// The owners FIFO records (block, stamp) pairs; an entry whose stamp
+	// no longer matches is a relic of an earlier, already-released
+	// reservation and must not stand in for the current one — without
+	// the stamp, an unmap→remap cycle leaves a stale FIFO entry at the
+	// head that makes stealReservation break the block's *new* (young)
+	// reservation while genuinely older reservations survive.
+	stamp uint64
 	// usedMask marks allocated frames within the block.
 	usedMask uint64
+}
+
+// ownerRef is one owners-FIFO entry: a block index at the reservation
+// generation it was enqueued under.
+type ownerRef struct {
+	bi    uint64
+	stamp uint64
 }
 
 // Allocator is a physical frame allocator with page reservation. Not
@@ -64,7 +79,8 @@ type Allocator struct {
 	nextNS  uint64             // namespace counter for NewNamespace
 	free    []uint64           // stack of fully-free block indexes
 	partial []uint64           // stack of candidate blocks with free frames (lazy)
-	owners  []uint64           // FIFO of reserved block indexes for stealing (lazy)
+	owners  []ownerRef         // FIFO of reservations for stealing (lazy)
+	resvSeq uint64             // reservation sequence, stamps owners entries
 	stats   AllocStats
 }
 
@@ -149,12 +165,8 @@ func (a *Allocator) AllocAt(ns uint64, vpn addr.VPN) (addr.PPN, bool, error) {
 	}
 	if bi, ok := a.takeFreeBlock(); ok {
 		blk := &a.blocks[bi]
-		blk.owner = key
-		blk.hasOwner = true
+		a.reserve(blk, bi, key)
 		blk.usedMask = 1 << boff
-		a.resv[key] = bi
-		a.owners = append(a.owners, bi)
-		a.stats.Reservations++
 		a.stats.Placed++
 		return addr.PPN(bi*a.sbf + boff), true, nil
 	}
@@ -186,14 +198,24 @@ func (a *Allocator) AllocBlock(ns uint64, vpbn addr.VPBN) (addr.PPN, error) {
 		return 0, ErrOutOfMemory
 	}
 	blk := &a.blocks[bi]
-	blk.owner = key
-	blk.hasOwner = true
+	a.reserve(blk, bi, key)
 	blk.usedMask = a.fullMask()
-	a.resv[key] = bi
-	a.owners = append(a.owners, bi)
-	a.stats.Reservations++
 	a.stats.Placed += a.sbf
 	return addr.PPN(bi * a.sbf), nil
+}
+
+// reserve installs a fresh reservation for key on block bi, stamping it
+// with the next reservation sequence number and enqueueing it at the
+// FIFO tail — so steal order is true reservation age, even when the
+// same block is reserved, drained and re-reserved repeatedly.
+func (a *Allocator) reserve(blk *blockState, bi uint64, key resvKey) {
+	a.resvSeq++
+	blk.owner = key
+	blk.hasOwner = true
+	blk.stamp = a.resvSeq
+	a.resv[key] = bi
+	a.owners = append(a.owners, ownerRef{bi: bi, stamp: a.resvSeq})
+	a.stats.Reservations++
 }
 
 // AllocRun allocates n contiguous aligned blocks (for large superpages),
@@ -270,12 +292,15 @@ func (a *Allocator) allocUnplaced() (addr.PPN, error) {
 // pages not yet populated.
 func (a *Allocator) stealReservation() bool {
 	for len(a.owners) > 0 {
-		bi := a.owners[0]
+		ref := a.owners[0]
 		a.owners = a.owners[1:]
-		blk := &a.blocks[bi]
-		if !blk.hasOwner {
+		blk := &a.blocks[ref.bi]
+		if !blk.hasOwner || blk.stamp != ref.stamp {
+			// Released, or released and re-reserved since this entry was
+			// queued (the re-reservation has its own entry at the tail).
 			continue
 		}
+		bi := ref.bi
 		delete(a.resv, blk.owner)
 		blk.hasOwner = false
 		a.stats.Steals++
@@ -311,6 +336,24 @@ func (a *Allocator) Free(ppn addr.PPN) error {
 		a.partial = append(a.partial, bi)
 	}
 	return nil
+}
+
+// FragStats reports free-space fragmentation: the total free frames and
+// how many of them sit in fully-free, unreserved blocks — the only
+// frames still able to seed a new aligned reservation. Their ratio is
+// the allocator-side superpage outlook: when most free frames are
+// scattered through partially-used or reserved blocks, new superpages
+// cannot form no matter how much memory is nominally free.
+func (a *Allocator) FragStats() (freeFrames, wholeBlockFree uint64) {
+	for i := range a.blocks {
+		blk := &a.blocks[i]
+		n := a.sbf - uint64(bits.OnesCount64(blk.usedMask))
+		freeFrames += n
+		if blk.usedMask == 0 && !blk.hasOwner {
+			wholeBlockFree += a.sbf
+		}
+	}
+	return freeFrames, wholeBlockFree
 }
 
 // ReservationFor reports the reserved frame block base for a virtual

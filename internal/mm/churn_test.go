@@ -1,0 +1,187 @@
+package mm
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/pte"
+)
+
+// TestStealOrderAfterRemap is the regression test for the stale
+// owners-FIFO entry bug: a block that is reserved, fully freed, and
+// later re-reserved used to keep its original FIFO entry, so the next
+// steal broke the re-reservation — the youngest in the system — while
+// strictly older reservations survived. Reservation stamps make the
+// FIFO skip the stale entry and steal true oldest-first.
+func TestStealOrderAfterRemap(t *testing.T) {
+	a := MustNewAllocator(12, 2) // three 4-frame blocks
+	ns := a.NewNamespace()
+
+	// R1 on physical block 0, R2 on block 1.
+	p0, placed, err := a.AllocAt(ns, 0)
+	if err != nil || !placed || p0 != 0 {
+		t.Fatalf("AllocAt(0) = %v placed=%v err=%v", p0, placed, err)
+	}
+	if _, placed, err = a.AllocAt(ns, 4); err != nil || !placed {
+		t.Fatalf("AllocAt(4) placed=%v err=%v", placed, err)
+	}
+	// Fully free R1: block 0 returns to the free pool, but the buggy
+	// FIFO kept its entry at the head.
+	if err := a.Free(p0); err != nil {
+		t.Fatal(err)
+	}
+	// R3 re-reserves physical block 0 (top of the free stack) for a new
+	// virtual block — the youngest reservation in the system.
+	if _, placed, err = a.AllocAt(ns, 8); err != nil || !placed {
+		t.Fatalf("AllocAt(8) placed=%v err=%v", placed, err)
+	}
+	if ppn, ok := a.ReservationFor(ns, 2); !ok || ppn != 0 {
+		t.Fatalf("re-reservation = %v ok=%v, want block 0", ppn, ok)
+	}
+	// Exhaust the last whole block, then force an unplaced allocation:
+	// the allocator must steal a reservation.
+	if _, err := a.AllocBlock(ns, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, placed, err = a.AllocAt(ns, 16); err != nil || placed {
+		t.Fatalf("pressure AllocAt placed=%v err=%v, want unplaced", placed, err)
+	}
+	if got := a.Stats().Steals; got != 1 {
+		t.Fatalf("Steals = %d, want 1", got)
+	}
+	// Oldest-live must be stolen: R2 (vpbn 1) gone, R3 (vpbn 2) intact.
+	if _, ok := a.ReservationFor(ns, 1); ok {
+		t.Error("oldest live reservation (vpbn 1) survived the steal")
+	}
+	if _, ok := a.ReservationFor(ns, 2); !ok {
+		t.Error("youngest reservation (vpbn 2) was stolen — stale FIFO entry acted on re-reserved block")
+	}
+}
+
+func TestFragStats(t *testing.T) {
+	a := MustNewAllocator(12, 2)
+	if ff, wf := a.FragStats(); ff != 12 || wf != 12 {
+		t.Fatalf("fresh FragStats = (%d, %d), want (12, 12)", ff, wf)
+	}
+	ns := a.NewNamespace()
+	ppn, _, err := a.AllocAt(ns, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 holds one frame: its three free frames are reserved
+	// remnants, only blocks 1 and 2 still count as whole.
+	if ff, wf := a.FragStats(); ff != 11 || wf != 8 {
+		t.Fatalf("FragStats = (%d, %d), want (11, 8)", ff, wf)
+	}
+	if err := a.Free(ppn); err != nil {
+		t.Fatal(err)
+	}
+	if ff, wf := a.FragStats(); ff != 12 || wf != 12 {
+		t.Fatalf("post-free FragStats = (%d, %d), want (12, 12)", ff, wf)
+	}
+}
+
+// TestEvictRangeKeepsVMA checks the churn reuse primitive: EvictRange
+// drops translations and frames but leaves the reservation (VMA) in
+// place, so the region faults back in without a fresh Reserve.
+func TestEvictRangeKeepsVMA(t *testing.T) {
+	s := newSpace(t, core.MustNew(core.Config{}), 1024, Policy{UseSuperpages: true, UsePartial: true})
+	r := addr.PageRange(0x100000, 32)
+	if err := s.Reserve(r, pte.AttrR|pte.AttrW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EvictRange(addr.PageRange(0x100000, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Table().Lookup(0x100000); ok {
+		t.Fatal("evicted page still mapped")
+	}
+	if got := s.VMAs(); len(got) != 1 || got[0].Name != "heap" {
+		t.Fatalf("VMAs after evict = %v, want heap intact", got)
+	}
+	faulted, err := s.Touch(0x100000)
+	if err != nil || !faulted {
+		t.Fatalf("refault after evict: faulted=%v err=%v", faulted, err)
+	}
+	// UnmapRange, by contrast, trims the VMA.
+	if err := s.UnmapRange(addr.PageRange(0x100000, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Touch(0x100000); err == nil {
+		t.Fatal("touch succeeded after UnmapRange removed the VMA")
+	}
+}
+
+// TestOnMapSeesEveryInstall checks the oracle hook fires once per base
+// page on all three install paths: whole-block superpage populate,
+// partial-block populate, and demand faults.
+func TestOnMapSeesEveryInstall(t *testing.T) {
+	s := newSpace(t, core.MustNew(core.Config{}), 1024, Policy{UseSuperpages: true, UsePartial: true})
+	seen := map[addr.VPN]addr.PPN{}
+	s.OnMap = func(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) {
+		if _, dup := seen[vpn]; dup {
+			t.Fatalf("OnMap fired twice for vpn %#x", uint64(vpn))
+		}
+		if attr != (pte.AttrR | pte.AttrW) {
+			t.Fatalf("OnMap attr = %v", attr)
+		}
+		seen[vpn] = ppn
+	}
+	// One full block (superpage path) + 3 pages (partial path).
+	r := addr.PageRange(0x100000, 19)
+	s.Reserve(addr.PageRange(0x100000, 32), pte.AttrR|pte.AttrW, "heap")
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 19 {
+		t.Fatalf("OnMap saw %d installs after populate, want 19", len(seen))
+	}
+	// Demand fault (touch path).
+	if _, err := s.Touch(0x100000 + 20*4096); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("OnMap saw %d installs after touch, want 20", len(seen))
+	}
+	// Every recorded translation matches the table.
+	for vpn, ppn := range seen {
+		e, _, ok := s.Table().Lookup(addr.VAOf(vpn))
+		if !ok || e.PPN != ppn {
+			t.Fatalf("vpn %#x: table (%v, %v) != hook %v", uint64(vpn), e.PPN, ok, ppn)
+		}
+	}
+}
+
+// TestTryPromoteAndDemote checks the explicit promote/demote wrappers
+// the churn replay drives: Demote splits a clustered superpage into
+// base PTEs in place, TryPromote rebuilds it when the block is still
+// properly placed.
+func TestTryPromoteAndDemote(t *testing.T) {
+	ct := core.MustNew(core.Config{})
+	s := newSpace(t, ct, 1024, Policy{UseSuperpages: true, UsePartial: true})
+	r := addr.PageRange(0x100000, 16)
+	s.Reserve(r, pte.AttrR|pte.AttrW, "heap")
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	e, _, _ := ct.Lookup(0x100000)
+	if e.Kind != pte.KindSuperpage {
+		t.Fatalf("populate kind = %v, want superpage", e.Kind)
+	}
+	if !s.Demote(addr.VPN(0x100)) {
+		t.Fatal("Demote refused an intact superpage block")
+	}
+	if e, _, _ = ct.Lookup(0x100000); e.Kind == pte.KindSuperpage {
+		t.Fatal("still a superpage after Demote")
+	}
+	s.TryPromote(addr.VPN(0x100))
+	if e, _, _ = ct.Lookup(0x100000); e.Kind != pte.KindSuperpage {
+		t.Fatalf("kind after TryPromote = %v, want superpage", e.Kind)
+	}
+	// Outside any VMA: a no-op, not a panic.
+	s.TryPromote(addr.VPN(0x999999))
+}

@@ -51,6 +51,20 @@ type AddressSpace struct {
 	ns     uint64 // reservation namespace within the shared allocator
 	vmas   []VMA
 	stats  SpaceStats
+
+	// OnMap, when non-nil, observes every base-page translation this
+	// space installs — one call per page of a superpage or partial
+	// block, one per demand fault. Differential replays use it to grow
+	// a reference model from the allocator's actual frame choices
+	// without reading them back through the table under test.
+	OnMap func(vpn addr.VPN, ppn addr.PPN, attr pte.Attr)
+}
+
+// noteMap reports one installed translation to the OnMap observer.
+func (s *AddressSpace) noteMap(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) {
+	if s.OnMap != nil {
+		s.OnMap(vpn, ppn, attr)
+	}
 }
 
 // NewAddressSpace creates an address space over the given table and
@@ -156,6 +170,9 @@ func (s *AddressSpace) populateSuperpageBlock(vpbn addr.VPBN, attr pte.Attr) err
 		return err
 	}
 	s.stats.Superpages++
+	for i := uint64(0); i < uint64(1)<<s.logSBF; i++ {
+		s.noteMap(vpn+addr.VPN(i), base+addr.PPN(i), attr)
+	}
 	return nil
 }
 
@@ -199,6 +216,9 @@ func (s *AddressSpace) populatePartialBlock(vpbn addr.VPBN, lo, hi uint64, attr 
 				if ok {
 					if err := pm.MapPartial(vpbn, base, attr, mask); err == nil {
 						s.stats.PartialPTEs++
+						for _, g := range pages {
+							s.noteMap(addr.BlockJoin(vpbn, g.boff, s.logSBF), g.ppn, attr)
+						}
 						return nil
 					}
 				}
@@ -211,6 +231,7 @@ func (s *AddressSpace) populatePartialBlock(vpbn addr.VPBN, lo, hi uint64, attr 
 			return err
 		}
 		s.stats.BasePages++
+		s.noteMap(vpn, g.ppn, attr)
 	}
 	return nil
 }
@@ -237,6 +258,7 @@ func (s *AddressSpace) Touch(va addr.V) (bool, error) {
 		return false, err
 	}
 	s.stats.BasePages++
+	s.noteMap(vpn, ppn, vma.Attr)
 	s.maybePromote(vpn, vma)
 	return true, nil
 }
@@ -271,8 +293,33 @@ func (s *AddressSpace) maybePromote(vpn addr.VPN, vma *VMA) {
 	}
 }
 
-// UnmapRange tears down every mapping in r and frees the frames.
+// UnmapRange tears down every mapping in r, frees the frames and drops
+// VMAs fully inside the range — address-space teardown.
 func (s *AddressSpace) UnmapRange(r addr.Range) error {
+	if err := s.evict(r); err != nil {
+		return err
+	}
+	// Trim or drop VMAs fully inside the range.
+	var keep []VMA
+	for _, v := range s.vmas {
+		if r.Start <= v.Range.Start && v.Range.End() <= r.End() {
+			continue
+		}
+		keep = append(keep, v)
+	}
+	s.vmas = keep
+	return nil
+}
+
+// EvictRange tears down every mapping in r and frees the frames like
+// UnmapRange, but keeps the VMAs, so the range can fault or populate
+// back in — the reuse primitive dynamic churn (slab recycling,
+// semispace flips, fork exits) is built on.
+func (s *AddressSpace) EvictRange(r addr.Range) error { return s.evict(r) }
+
+// evict removes every translation in r, demoting covering compact PTEs
+// as needed, and returns the frames to the allocator.
+func (s *AddressSpace) evict(r addr.Range) error {
 	// Gather frames first via the table's own view.
 	type mapping struct {
 		vpn addr.VPN
@@ -301,16 +348,29 @@ func (s *AddressSpace) UnmapRange(r addr.Range) error {
 			return err
 		}
 	}
-	// Trim or drop VMAs fully inside the range.
-	var keep []VMA
-	for _, v := range s.vmas {
-		if r.Start <= v.Range.Start && v.Range.End() <= r.End() {
-			continue
-		}
-		keep = append(keep, v)
-	}
-	s.vmas = keep
 	return nil
+}
+
+// TryPromote attempts the §5 incremental promotion of vpn's block under
+// the space's policy, for callers replaying promotion pressure (churn
+// streams) rather than faulting.
+func (s *AddressSpace) TryPromote(vpn addr.VPN) {
+	if vma, ok := s.vmaFor(addr.VAOf(vpn)); ok {
+		s.maybePromote(vpn, vma)
+	}
+}
+
+// Demote splits the compact PTE covering vpn's block back into base
+// PTEs where the organization supports in-place demotion (clustered
+// tables). Translations are unchanged; it reports whether a split
+// happened.
+func (s *AddressSpace) Demote(vpn addr.VPN) bool {
+	ct, ok := s.pt.(*core.Table)
+	if !ok {
+		return false
+	}
+	vpbn, _ := addr.BlockSplit(vpn, s.logSBF)
+	return ct.Demote(vpbn)
 }
 
 // unmapOne removes one page's translation, demoting covering compact

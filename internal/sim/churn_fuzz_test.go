@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+	"clusterpt/internal/trace"
+)
+
+// FuzzChurnOps decodes arbitrary bytes into churn op streams over a
+// small fixed layout and applies them to a clustered and a linear
+// organization, each shadowed by the plain-map reference model. After
+// every op, the full differential oracle sweep runs, plus the table's
+// own size audit where offered — so any divergence the structured
+// streams cannot reach (odd unmap/remap interleavings, demotes of
+// half-evicted blocks, touches racing promotion) fails here.
+func FuzzChurnOps(f *testing.F) {
+	// A handful of structured seeds: map/unmap ping-pong, whole-block
+	// ops, and a promote/demote flip. The checked-in corpus under
+	// testdata/fuzz extends these.
+	f.Add([]byte{
+		0, 0, 0, 15, // map vma0 start, 16 pages
+		1, 0, 0, 7, // unmap the first half
+		2, 0, 0, 15, // touch (fault back + promote attempt)
+		3, 0, 0, 15, // demote
+	})
+	f.Add([]byte{
+		0, 1, 0, 47, // map vma1 whole
+		1, 1, 64, 3, // punch a hole mid-way
+		0, 1, 64, 3, // fill it again
+		2, 1, 0, 47, // touch everything
+	})
+	var zig []byte
+	for i := byte(0); i < 24; i++ {
+		zig = append(zig, i%4, i%2, i*8, i%16)
+	}
+	f.Add(zig)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		layout := fuzzChurnLayout()
+		ops := trace.DecodeChurnOps(layout, data, 256)
+		if len(ops) == 0 {
+			return
+		}
+		for _, v := range []TableVariant{ChurnVariants()[3], ChurnVariants()[0]} {
+			m, err := newChurnMachine(v, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, op := range ops {
+				if err := m.apply(op); err != nil {
+					t.Fatalf("%s: op %d %+v: %v", v.Name, i, op, err)
+				}
+				if _, err := m.sweep(true); err != nil {
+					t.Fatalf("%s: after op %d %+v: %v", v.Name, i, op, err)
+				}
+				if audit, ok := m.pt.(interface{ AuditSize() pagetable.Size }); ok {
+					if got, want := audit.AuditSize(), m.pt.Size(); got != want {
+						t.Fatalf("%s: op %d: AuditSize %+v != Size %+v", v.Name, i, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzChurnLayout is two small VMAs — one block-aligned, one not — so
+// decoded ops exercise both aligned and straddling block geometry.
+func fuzzChurnLayout() []trace.ChurnVMA {
+	return []trace.ChurnVMA{
+		{
+			Name:   "aligned",
+			Range:  addr.PageRange(addr.VAOf(0x2000), 48),
+			Attr:   pte.AttrR | pte.AttrW,
+			Weight: 1,
+		},
+		{
+			Name:   "straddle",
+			Range:  addr.PageRange(addr.VAOf(0x3007), 37),
+			Attr:   pte.AttrR,
+			Weight: 1,
+		},
+	}
+}

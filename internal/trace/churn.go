@@ -1,0 +1,528 @@
+package trace
+
+import (
+	"fmt"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// This file generates dynamic-churn workloads: deterministic epochs of
+// map/unmap/touch/demote operations that reshape an address space while
+// it is being referenced, under named profiles (slab churn, GC semispace
+// flips, fork waves). Where OpStream drives the concurrent *service*
+// surface with page-granular traffic, ChurnStream drives the mm
+// substrate — region-granular populate/evict/promote pressure against
+// the reservation allocator, so superpage eligibility decays with
+// fragmentation instead of being fixed at build time. Streams are pure
+// functions of (snapshot, seed, profile): every organization replaying
+// the same stream sees the identical op sequence.
+
+// ChurnOpKind labels one churn operation.
+type ChurnOpKind uint8
+
+// The churn mutation vocabulary. Reference bursts are not ops: the
+// replay runs one burst per epoch with its own deterministic generator
+// (ChurnBurst), so op buffers stay compact.
+const (
+	// ChurnMap populates every currently-unmapped page of the range
+	// through the page-size policy (superpages for full blocks,
+	// partial-subblock or base PTEs otherwise).
+	ChurnMap ChurnOpKind = iota
+	// ChurnUnmap evicts every mapped page of the range and frees the
+	// frames, keeping the VMA so the range can churn back in.
+	ChurnUnmap
+	// ChurnTouch demand-faults every unmapped page of the range and
+	// attempts incremental promotion (§5) on each covered block.
+	ChurnTouch
+	// ChurnDemote splits the covered blocks' compact PTEs back to base
+	// PTEs where the organization supports in-place demotion.
+	ChurnDemote
+	numChurnOpKinds
+)
+
+// String names the kind for diagnostics.
+func (k ChurnOpKind) String() string {
+	switch k {
+	case ChurnMap:
+		return "map"
+	case ChurnUnmap:
+		return "unmap"
+	case ChurnTouch:
+		return "touch"
+	case ChurnDemote:
+		return "demote"
+	default:
+		return fmt.Sprintf("ChurnOpKind(%d)", uint8(k))
+	}
+}
+
+// ChurnOp is one churn operation covering [VPN, VPN+Pages). Every op a
+// stream emits lies entirely inside one ChurnVMA of its layout.
+type ChurnOp struct {
+	Kind  ChurnOpKind
+	VPN   addr.VPN
+	Pages uint64
+}
+
+// Range returns the op's page range.
+func (op ChurnOp) Range() addr.Range {
+	return addr.PageRange(addr.VAOf(op.VPN), op.Pages)
+}
+
+// ChurnVMA is one virtual region of a churn replay's layout: the
+// snapshot's regions plus any arenas the profile adds (GC to-space,
+// fork child images). Initial lists the pages mapped before churn
+// begins (nil for profile-added arenas, which start empty).
+type ChurnVMA struct {
+	Name    string
+	Range   addr.Range
+	Attr    pte.Attr
+	Weight  float64
+	Initial []addr.VPN
+}
+
+// churnKind discriminates the built-in profiles.
+type churnKind uint8
+
+const (
+	churnSlab churnKind = iota
+	churnGC
+	churnFork
+)
+
+// ChurnProfile names one churn workload shape.
+type ChurnProfile struct {
+	// Name identifies the profile ("slab", "gc", "fork").
+	Name string
+	// Epochs is the profile's standard epoch count; replays report one
+	// time-series point per epoch.
+	Epochs int
+	kind   churnKind
+}
+
+// ChurnProfiles returns the built-in profiles in canonical order:
+//
+//   - slab: memcached-style slab churn — whole 64KB chunks of the
+//     writable regions free and reallocate while partial frees punch
+//     sub-block holes, the classic superpage-fragmentation driver.
+//   - gc: semispace collection — bump-pointer allocation bands in the
+//     active space with periodic flips that evacuate survivors into the
+//     idle space and drop the old one wholesale.
+//   - fork: fork-heavy multi-process — child images map into fresh
+//     arenas, run briefly, and exit, churning whole-image map/unmap
+//     waves through the shared allocator.
+func ChurnProfiles() []ChurnProfile {
+	return []ChurnProfile{
+		{Name: "slab", Epochs: 8, kind: churnSlab},
+		{Name: "gc", Epochs: 8, kind: churnGC},
+		{Name: "fork", Epochs: 8, kind: churnFork},
+	}
+}
+
+// ChurnProfileByName resolves a built-in profile.
+func ChurnProfileByName(name string) (ChurnProfile, bool) {
+	for _, p := range ChurnProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ChurnProfile{}, false
+}
+
+// SnapshotLayout converts a process snapshot into churn-layout VMAs,
+// one per region, carrying the region's extent, protection, reference
+// weight and initially-mapped pages.
+func SnapshotLayout(snap ProcessSnapshot) []ChurnVMA {
+	out := make([]ChurnVMA, 0, len(snap.Regions))
+	for _, r := range snap.Regions {
+		out = append(out, ChurnVMA{
+			Name:    r.Spec.Name,
+			Range:   r.Range(),
+			Attr:    r.Spec.Attr,
+			Weight:  r.Spec.Weight,
+			Initial: r.Pages,
+		})
+	}
+	return out
+}
+
+// churnChunk is one block-aligned 64KB chunk of a writable VMA — the
+// slab-churn unit.
+type churnChunk struct {
+	vma    int // layout index
+	base   addr.VPN
+	mapped bool
+}
+
+// ChurnStream deterministically generates churn epochs over one process
+// snapshot under a profile. Layout and op sequence are pure functions
+// of (snapshot, seed, profile); NextEpoch reuses the caller's buffer,
+// so the steady-state epoch loop allocates nothing.
+type ChurnStream struct {
+	rng     *RNG
+	profile ChurnProfile
+	layout  []ChurnVMA
+	logSBF  uint
+	epoch   int
+
+	// chunks tile the writable snapshot regions (slab churn, fork
+	// parent noise).
+	chunks []churnChunk
+
+	// gc semispace state: layout indices, active space, bump cursor
+	// (page offset within the active space).
+	gcFrom, gcTo int
+	gcCursor     uint64
+
+	// fork child-arena state: layout indices and occupancy.
+	slots    []int
+	occupied []bool
+}
+
+// NewChurnStream builds a stream over snap with the standard 16-page
+// block geometry. The layout is the snapshot's regions plus the
+// profile's arenas, placed above every snapshot region.
+func NewChurnStream(snap ProcessSnapshot, seed uint64, profile ChurnProfile) *ChurnStream {
+	const logSBF = 4
+	s := &ChurnStream{
+		rng:     NewRNG(seed ^ 0xc4_02_17),
+		profile: profile,
+		layout:  SnapshotLayout(snap),
+		logSBF:  logSBF,
+	}
+
+	// Place profile arenas block-aligned above the snapshot, with a gap.
+	top := addr.V(0)
+	for _, v := range s.layout {
+		if v.Range.End() > top {
+			top = v.Range.End()
+		}
+	}
+	arenaBase := addr.AlignUp(top+addr.V(64*addr.BasePageSize), 0x10000)
+
+	// largestW is the biggest writable region, the yardstick for arena
+	// sizing (a GC to-space must hold the from-space's survivors; a
+	// fork child image is about one heap).
+	largestW := uint64(1) << logSBF
+	for _, v := range s.layout {
+		if v.Attr&pte.AttrW != 0 && v.Range.NumPages() > largestW {
+			largestW = v.Range.NumPages()
+		}
+	}
+	largestW = (largestW + (1 << logSBF) - 1) &^ ((1 << logSBF) - 1)
+
+	addArena := func(name string, pages uint64, weight float64) int {
+		s.layout = append(s.layout, ChurnVMA{
+			Name:   name,
+			Range:  addr.PageRange(arenaBase, pages),
+			Attr:   pte.AttrR | pte.AttrW,
+			Weight: weight,
+		})
+		arenaBase = addr.AlignUp(s.layout[len(s.layout)-1].Range.End()+addr.V(16*addr.BasePageSize), 0x10000)
+		return len(s.layout) - 1
+	}
+
+	switch profile.kind {
+	case churnGC:
+		// From-space is the largest writable snapshot region; to-space
+		// is a fresh arena of equal extent.
+		s.gcFrom = 0
+		best := uint64(0)
+		for i, v := range s.layout {
+			if v.Attr&pte.AttrW != 0 && v.Range.NumPages() > best {
+				best = v.Range.NumPages()
+				s.gcFrom = i
+			}
+		}
+		s.gcTo = addArena("tospace", largestW, 0.3)
+	case churnFork:
+		child := largestW
+		if child > 1024 {
+			child = 1024
+		}
+		for i := 0; i < 3; i++ {
+			s.slots = append(s.slots, addArena(fmt.Sprintf("child%d", i), child, 0.15))
+			s.occupied = append(s.occupied, false)
+		}
+	}
+
+	// Tile every writable snapshot region into aligned chunks, initially
+	// mapped (per the snapshot's density; clipping at apply time absorbs
+	// the holes).
+	for i, v := range s.layout {
+		if v.Attr&pte.AttrW == 0 || v.Initial == nil {
+			continue
+		}
+		sbf := addr.VPN(1) << logSBF
+		base := (v.Range.FirstVPN() + sbf - 1) &^ (sbf - 1)
+		for ; base+sbf <= v.Range.LastVPN()+1; base += sbf {
+			s.chunks = append(s.chunks, churnChunk{vma: i, base: base, mapped: true})
+		}
+	}
+	return s
+}
+
+// Layout returns the stream's VMA layout. Callers must treat it as
+// read-only; the replay reserves exactly these VMAs.
+func (s *ChurnStream) Layout() []ChurnVMA { return s.layout }
+
+// Epoch returns how many epochs have been generated.
+func (s *ChurnStream) Epoch() int { return s.epoch }
+
+// pickChunk returns the index of a pseudo-randomly chosen chunk with the
+// wanted mapped state, scanning forward from a random start so the probe
+// is bounded and deterministic.
+func (s *ChurnStream) pickChunk(mapped bool) (int, bool) {
+	n := len(s.chunks)
+	if n == 0 {
+		return 0, false
+	}
+	start := s.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		ci := (start + i) % n
+		if s.chunks[ci].mapped == mapped {
+			return ci, true
+		}
+	}
+	return 0, false
+}
+
+// NextEpoch appends one epoch of ops to buf (reusing its storage) and
+// returns it. The caller applies the ops in order, then runs its
+// reference burst for the epoch.
+func (s *ChurnStream) NextEpoch(buf []ChurnOp) []ChurnOp {
+	buf = buf[:0]
+	switch s.profile.kind {
+	case churnSlab:
+		buf = s.slabEpoch(buf)
+	case churnGC:
+		buf = s.gcEpoch(buf)
+	case churnFork:
+		buf = s.forkEpoch(buf)
+	}
+	s.epoch++
+	return buf
+}
+
+// slabEpoch frees whole chunks, punches sub-block holes into others
+// (the fragmentation driver), refills freed chunks, and re-touches a
+// few fragmented ones so incremental promotion gets a chance.
+func (s *ChurnStream) slabEpoch(buf []ChurnOp) []ChurnOp {
+	sbf := uint64(1) << s.logSBF
+	n := len(s.chunks)/12 + 1
+	for i := 0; i < n; i++ {
+		if ci, ok := s.pickChunk(true); ok {
+			c := &s.chunks[ci]
+			buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: c.base, Pages: sbf})
+			c.mapped = false
+		}
+	}
+	for i := 0; i < (n+1)/2; i++ {
+		if ci, ok := s.pickChunk(true); ok {
+			c := s.chunks[ci]
+			lo := s.rng.Uint64n(sbf - 1)
+			ln := 1 + s.rng.Uint64n(sbf-lo)
+			buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: c.base + addr.VPN(lo), Pages: ln})
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ci, ok := s.pickChunk(false); ok {
+			c := &s.chunks[ci]
+			buf = append(buf, ChurnOp{Kind: ChurnMap, VPN: c.base, Pages: sbf})
+			c.mapped = true
+		}
+	}
+	for i := 0; i < (n+1)/2; i++ {
+		if ci, ok := s.pickChunk(true); ok {
+			c := s.chunks[ci]
+			buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: c.base, Pages: sbf})
+		}
+	}
+	if ci, ok := s.pickChunk(true); ok {
+		c := s.chunks[ci]
+		buf = append(buf, ChurnOp{Kind: ChurnDemote, VPN: c.base, Pages: sbf})
+	}
+	return buf
+}
+
+// gcEpoch runs bump-pointer allocation bands in the active semispace;
+// every fourth epoch flips: survivors map into the idle space, the old
+// space unmaps wholesale, and the roles swap.
+func (s *ChurnStream) gcEpoch(buf []ChurnOp) []ChurnOp {
+	from := s.layout[s.gcFrom].Range
+	fromPages := from.NumPages()
+	if s.epoch%4 == 3 {
+		// Flip: evacuate survivors (five eighths of the space) into
+		// to-space, drop from-space, swap.
+		to := s.layout[s.gcTo].Range
+		survivors := to.NumPages() * 5 / 8
+		if survivors == 0 {
+			survivors = 1
+		}
+		buf = append(buf, ChurnOp{Kind: ChurnMap, VPN: to.FirstVPN(), Pages: survivors})
+		buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: to.FirstVPN(), Pages: survivors / 2})
+		buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: from.FirstVPN(), Pages: fromPages})
+		s.gcFrom, s.gcTo = s.gcTo, s.gcFrom
+		s.gcCursor = survivors
+		return buf
+	}
+	band := fromPages / 8
+	if band == 0 {
+		band = 1
+	}
+	if s.gcCursor < fromPages {
+		if s.gcCursor+band > fromPages {
+			band = fromPages - s.gcCursor
+		}
+		vpn := from.FirstVPN() + addr.VPN(s.gcCursor)
+		buf = append(buf, ChurnOp{Kind: ChurnMap, VPN: vpn, Pages: band})
+		buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: vpn, Pages: band})
+		s.gcCursor += band
+	}
+	// Mutation noise: a short mid-space eviction, the write barrier's
+	// dead-object trail.
+	if fromPages > 8 {
+		off := s.rng.Uint64n(fromPages - 8)
+		buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: from.FirstVPN() + addr.VPN(off), Pages: 1 + s.rng.Uint64n(4)})
+	}
+	// Demote one fully-contained block so the compact-PTE split path
+	// stays exercised between flips.
+	sbfv := addr.VPN(1) << s.logSBF
+	if base := (from.FirstVPN() + sbfv - 1) &^ (sbfv - 1); base+sbfv <= from.LastVPN()+1 {
+		buf = append(buf, ChurnOp{Kind: ChurnDemote, VPN: base, Pages: 1 << s.logSBF})
+	}
+	return buf
+}
+
+// forkEpoch spawns and reaps child images in the child arenas and adds
+// light slab-style noise in the parent's heap.
+func (s *ChurnStream) forkEpoch(buf []ChurnOp) []ChurnOp {
+	sbf := uint64(1) << s.logSBF
+	for i, li := range s.slots {
+		r := s.layout[li].Range
+		pages := r.NumPages()
+		if !s.occupied[i] {
+			// Fork: map most of the image, touch the working set.
+			image := pages * (5 + s.rng.Uint64n(4)) / 10
+			if image == 0 {
+				image = 1
+			}
+			buf = append(buf, ChurnOp{Kind: ChurnMap, VPN: r.FirstVPN(), Pages: image})
+			buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: r.FirstVPN(), Pages: image / 4})
+			s.occupied[i] = true
+			continue
+		}
+		if s.rng.Intn(2) == 1 {
+			// Exit: the whole image unmaps at once.
+			buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: r.FirstVPN(), Pages: pages})
+			s.occupied[i] = false
+		} else {
+			// Run: the child grows a little.
+			off := s.rng.Uint64n(pages)
+			ln := sbf
+			if off+ln > pages {
+				ln = pages - off
+			}
+			if ln > 0 {
+				buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: r.FirstVPN() + addr.VPN(off), Pages: ln})
+			}
+		}
+	}
+	// Parent heap noise: one partial hole, one chunk refill.
+	if ci, ok := s.pickChunk(true); ok {
+		c := s.chunks[ci]
+		lo := s.rng.Uint64n(sbf - 1)
+		buf = append(buf, ChurnOp{Kind: ChurnUnmap, VPN: c.base + addr.VPN(lo), Pages: 1 + s.rng.Uint64n(sbf-lo)})
+	}
+	if ci, ok := s.pickChunk(true); ok {
+		c := s.chunks[ci]
+		buf = append(buf, ChurnOp{Kind: ChurnTouch, VPN: c.base, Pages: sbf})
+	}
+	return buf
+}
+
+// ChurnBurst deterministically generates the reference addresses of one
+// churn replay: mostly sequential sweeps within one VMA with occasional
+// weighted jumps to another, so TLB reach (superpage entries cover 16
+// pages per slot) governs the miss rate. Next allocates nothing.
+type ChurnBurst struct {
+	rng    *RNG
+	layout []ChurnVMA
+	total  float64
+	vma    int
+	off    uint64 // page offset within the current VMA
+}
+
+// NewChurnBurst builds a burst generator over a stream's layout.
+func NewChurnBurst(layout []ChurnVMA, seed uint64) *ChurnBurst {
+	b := &ChurnBurst{rng: NewRNG(seed ^ 0xb0_57), layout: layout}
+	for _, v := range layout {
+		if v.Weight > 0 {
+			b.total += v.Weight
+		}
+	}
+	b.jump()
+	return b
+}
+
+// jump picks a VMA by weight and a random page offset within it.
+func (b *ChurnBurst) jump() {
+	if b.total <= 0 {
+		b.vma = b.rng.Intn(len(b.layout))
+	} else {
+		x := b.rng.Float64() * b.total
+		b.vma = len(b.layout) - 1
+		for i, v := range b.layout {
+			if v.Weight <= 0 {
+				continue
+			}
+			if x < v.Weight {
+				b.vma = i
+				break
+			}
+			x -= v.Weight
+		}
+	}
+	b.off = b.rng.Uint64n(b.layout[b.vma].Range.NumPages())
+}
+
+// Next returns the next referenced address.
+func (b *ChurnBurst) Next() addr.V {
+	if b.rng.Intn(16) == 0 {
+		b.jump()
+	} else {
+		b.off++
+		if b.off >= b.layout[b.vma].Range.NumPages() {
+			b.off = 0
+		}
+	}
+	return b.layout[b.vma].Range.Start + addr.V(b.off*addr.BasePageSize)
+}
+
+// DecodeChurnOps interprets raw bytes as a bounded churn-op script over
+// a layout — the fuzzing front door. Every four bytes decode to one op
+// whose range is clamped inside one VMA, so any input is a valid (if
+// adversarial) mutation sequence for the differential applier. Returns
+// at most maxOps ops.
+func DecodeChurnOps(layout []ChurnVMA, data []byte, maxOps int) []ChurnOp {
+	if len(layout) == 0 {
+		return nil
+	}
+	var out []ChurnOp
+	for i := 0; i+4 <= len(data) && len(out) < maxOps; i += 4 {
+		kind := ChurnOpKind(data[i] % uint8(numChurnOpKinds))
+		v := layout[int(data[i+1])%len(layout)]
+		extent := v.Range.NumPages()
+		off := uint64(data[i+2]) * extent / 256
+		pages := 1 + uint64(data[i+3])%48
+		if off >= extent {
+			off = extent - 1
+		}
+		if off+pages > extent {
+			pages = extent - off
+		}
+		out = append(out, ChurnOp{Kind: kind, VPN: v.Range.FirstVPN() + addr.VPN(off), Pages: pages})
+	}
+	return out
+}

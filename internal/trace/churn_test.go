@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"clusterpt/internal/addr"
+)
+
+func churnSnap(t *testing.T) ProcessSnapshot {
+	t.Helper()
+	p, ok := ProfileByName("gcc")
+	if !ok {
+		t.Fatal("profile gcc missing")
+	}
+	return p.Snapshot()[0]
+}
+
+func TestChurnProfilesByName(t *testing.T) {
+	want := []string{"slab", "gc", "fork"}
+	got := ChurnProfiles()
+	if len(got) != len(want) {
+		t.Fatalf("got %d churn profiles, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Fatalf("profile %d = %q, want %q", i, got[i].Name, name)
+		}
+		cp, ok := ChurnProfileByName(name)
+		if !ok || cp.Name != name {
+			t.Fatalf("ChurnProfileByName(%q) = %+v, %v", name, cp, ok)
+		}
+		if cp.Epochs <= 0 {
+			t.Fatalf("profile %q has no epochs", name)
+		}
+	}
+	if _, ok := ChurnProfileByName("nope"); ok {
+		t.Fatal("ChurnProfileByName accepted unknown name")
+	}
+}
+
+// TestChurnStreamDeterministic pins the core reproducibility property:
+// two streams built from the same (snapshot, seed, profile) emit
+// identical op sequences epoch by epoch.
+func TestChurnStreamDeterministic(t *testing.T) {
+	snap := churnSnap(t)
+	for _, cp := range ChurnProfiles() {
+		a := NewChurnStream(snap, 42, cp)
+		b := NewChurnStream(snap, 42, cp)
+		other := NewChurnStream(snap, 43, cp)
+		if !reflect.DeepEqual(a.Layout(), b.Layout()) {
+			t.Fatalf("%s: layouts diverge for equal seeds", cp.Name)
+		}
+		var bufA, bufB, bufO []ChurnOp
+		differs := false
+		for e := 0; e < cp.Epochs; e++ {
+			bufA = a.NextEpoch(bufA)
+			bufB = b.NextEpoch(bufB)
+			bufO = other.NextEpoch(bufO)
+			if !reflect.DeepEqual(bufA, bufB) {
+				t.Fatalf("%s: epoch %d diverges for equal seeds", cp.Name, e)
+			}
+			if len(bufA) == 0 {
+				t.Fatalf("%s: epoch %d emitted no ops", cp.Name, e)
+			}
+			if !reflect.DeepEqual(bufA, bufO) {
+				differs = true
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: different seeds produced identical streams", cp.Name)
+		}
+	}
+}
+
+// TestChurnOpsStayInLayout checks the stream's well-formedness
+// invariant the replay relies on: every op's page range lies entirely
+// inside a single layout VMA.
+func TestChurnOpsStayInLayout(t *testing.T) {
+	snap := churnSnap(t)
+	for _, cp := range ChurnProfiles() {
+		s := NewChurnStream(snap, 7, cp)
+		layout := s.Layout()
+		var buf []ChurnOp
+		for e := 0; e < cp.Epochs; e++ {
+			buf = s.NextEpoch(buf)
+			for _, op := range buf {
+				if op.Pages == 0 {
+					t.Fatalf("%s epoch %d: zero-page op %+v", cp.Name, e, op)
+				}
+				r := op.Range()
+				inside := false
+				for _, vma := range layout {
+					if r.FirstVPN() >= vma.Range.FirstVPN() && r.LastVPN() <= vma.Range.LastVPN() {
+						inside = true
+						break
+					}
+				}
+				if !inside {
+					t.Fatalf("%s epoch %d: op %+v escapes layout", cp.Name, e, op)
+				}
+			}
+		}
+	}
+}
+
+// TestChurnBurstStaysInLayout checks burst references always land on a
+// layout VMA page, and that the generator is deterministic.
+func TestChurnBurstStaysInLayout(t *testing.T) {
+	snap := churnSnap(t)
+	s := NewChurnStream(snap, 5, ChurnProfiles()[0])
+	layout := s.Layout()
+	a := NewChurnBurst(layout, 5)
+	b := NewChurnBurst(layout, 5)
+	for i := 0; i < 20000; i++ {
+		va := a.Next()
+		if vb := b.Next(); vb != va {
+			t.Fatalf("ref %d: burst diverges for equal seeds (%#x vs %#x)", i, uint64(va), uint64(vb))
+		}
+		inside := false
+		for _, vma := range layout {
+			if va >= vma.Range.Start && va < vma.Range.End() {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("ref %d: va %#x outside layout", i, uint64(va))
+		}
+	}
+}
+
+// TestDecodeChurnOps checks the fuzz decoder's bounds: every decoded op
+// fits a layout VMA and op counts respect maxOps.
+func TestDecodeChurnOps(t *testing.T) {
+	snap := churnSnap(t)
+	layout := SnapshotLayout(snap)
+	data := make([]byte, 4*300)
+	rng := NewRNG(11)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	ops := DecodeChurnOps(layout, data, 256)
+	if len(ops) != 256 {
+		t.Fatalf("decoded %d ops, want cap at 256", len(ops))
+	}
+	for i, op := range ops {
+		r := op.Range()
+		inside := false
+		for _, vma := range layout {
+			if r.FirstVPN() >= vma.Range.FirstVPN() && r.LastVPN() <= vma.Range.LastVPN() {
+				inside = true
+				break
+			}
+		}
+		if !inside || op.Pages == 0 {
+			t.Fatalf("op %d: %+v out of bounds", i, op)
+		}
+	}
+	if got := DecodeChurnOps(layout, []byte{1, 2, 3}, 256); len(got) != 0 {
+		t.Fatalf("short input decoded %d ops, want 0", len(got))
+	}
+	if got := DecodeChurnOps(nil, data, 256); got != nil {
+		t.Fatalf("empty layout decoded %d ops, want none", len(got))
+	}
+}
+
+// TestSnapshotLayout checks the snapshot-derived VMAs carry the region
+// geometry and initial pages through unchanged.
+func TestSnapshotLayout(t *testing.T) {
+	snap := churnSnap(t)
+	layout := SnapshotLayout(snap)
+	if len(layout) != len(snap.Regions) {
+		t.Fatalf("layout has %d VMAs, snapshot %d regions", len(layout), len(snap.Regions))
+	}
+	for i, vma := range layout {
+		r := snap.Regions[i]
+		if vma.Range != r.Range() {
+			t.Fatalf("vma %d range %v != region %v", i, vma.Range, r.Range())
+		}
+		if vma.Attr != r.Spec.Attr || vma.Name != r.Spec.Name {
+			t.Fatalf("vma %d spec mismatch", i)
+		}
+		if len(vma.Initial) != len(r.Pages) {
+			t.Fatalf("vma %d initial pages %d != region pages %d", i, len(vma.Initial), len(r.Pages))
+		}
+	}
+}
+
+// TestChurnStreamSteadyStateAllocs pins NextEpoch with a reused buffer
+// and ChurnBurst.Next at zero steady-state allocations.
+func TestChurnStreamSteadyStateAllocs(t *testing.T) {
+	snap := churnSnap(t)
+	for _, cp := range ChurnProfiles() {
+		s := NewChurnStream(snap, 3, cp)
+		buf := make([]ChurnOp, 0, 4096)
+		buf = s.NextEpoch(buf) // warm: buffer growth happens here
+		if n := testing.AllocsPerRun(10, func() { buf = s.NextEpoch(buf) }); n != 0 {
+			t.Fatalf("%s: NextEpoch allocates %v times per epoch in steady state", cp.Name, n)
+		}
+	}
+	layout := SnapshotLayout(snap)
+	b := NewChurnBurst(layout, 9)
+	var sink addr.V
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			sink = b.Next()
+		}
+	}); n != 0 {
+		t.Fatalf("ChurnBurst.Next allocates %v times per 64 refs", n)
+	}
+	_ = sink
+}
