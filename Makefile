@@ -17,10 +17,11 @@ test:
 	$(GO) test -race ./...
 
 # lint is the merge gate: go vet plus the repo's own analyzer suite
-# (cmd/ptlint). ptlint exits non-zero on any unsuppressed finding.
+# (cmd/ptlint). ptlint exits non-zero on any unsuppressed finding;
+# -stats reports per-analyzer wall time on stderr.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/ptlint ./...
+	$(GO) run ./cmd/ptlint -stats ./...
 
 # fuzz-smoke gives each fuzz target a short random walk on top of the
 # checked-in corpora; FUZZTIME=1m for a deeper local run.

@@ -1,11 +1,12 @@
 // Command ptlint runs the repository's static-analysis suite
-// (internal/analysis): four zero-dependency analyzers that mechanically
-// enforce the determinism, atomic-counter, locking and error-handling
-// invariants the concurrent engine and service layer rely on.
+// (internal/analysis): ten zero-dependency analyzers that mechanically
+// enforce the determinism, atomic-counter, locking, error-handling,
+// arena-lifetime and annotation invariants the concurrent engine and
+// service layer rely on.
 //
 // Usage:
 //
-//	ptlint [-json] [-checks list] [packages]
+//	ptlint [-json] [-checks list] [-stats] [packages]
 //
 // The package argument is accepted for go-tool symmetry but ptlint
 // always analyzes the whole module containing the working directory;
@@ -29,6 +30,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"clusterpt/internal/analysis"
 )
@@ -43,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
+	stats := fs.Bool("stats", false, "print per-analyzer timing and finding counts to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,9 +87,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(mod, selected, analysis.DefaultConfig(mod.Path))
+	diags, perCheck := analysis.RunWithStats(mod, selected, analysis.DefaultConfig(mod.Path))
+	if *stats {
+		// Stats go to stderr so -json stdout stays machine-parseable
+		// and the text output stays grep-stable.
+		var total time.Duration
+		for _, s := range perCheck {
+			suffix := ""
+			if s.Suppressed > 0 {
+				suffix = fmt.Sprintf(", %d allowed", s.Suppressed)
+			}
+			fmt.Fprintf(stderr, "ptlint: %-16s %8.1fms  %d finding(s)%s\n", s.Name, float64(s.Duration.Microseconds())/1000, s.Findings, suffix)
+			total += s.Duration
+		}
+		fmt.Fprintf(stderr, "ptlint: %-16s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+	}
+	names := make([]string, len(selected))
+	for i, a := range selected {
+		names[i] = a.Name
+	}
 	if *jsonOut {
-		if err := analysis.WriteJSON(stdout, diags); err != nil {
+		if err := analysis.WriteJSON(stdout, names, diags); err != nil {
 			fmt.Fprintf(stderr, "ptlint: %v\n", err)
 			return 2
 		}

@@ -86,8 +86,8 @@ func TestGoldenJSON(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if rep.Version != 1 {
-		t.Errorf("schema version = %d, want 1", rep.Version)
+	if rep.Version != 2 {
+		t.Errorf("schema version = %d, want 2", rep.Version)
 	}
 	if rep.Count != len(rep.Diagnostics) {
 		t.Errorf("count = %d but %d diagnostics", rep.Count, len(rep.Diagnostics))
@@ -102,7 +102,10 @@ func TestGoldenJSON(t *testing.T) {
 			t.Errorf("file %q must be module-root-relative and slash-separated", d.File)
 		}
 	}
-	for _, check := range []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop"} {
+	for _, check := range []string{
+		"nodeterminism", "atomiccounters", "locksafety", "errdrop",
+		"guardedby", "handlelife", "detflow",
+	} {
 		if !seen[check] {
 			t.Errorf("golden fixture produced no %s finding", check)
 		}
@@ -135,7 +138,10 @@ func TestListChecks(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, check := range []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop"} {
+	for _, check := range []string{
+		"nodeterminism", "atomiccounters", "locksafety", "errdrop",
+		"guardedby", "handlelife", "detflow",
+	} {
 		if !strings.Contains(stdout.String(), check) {
 			t.Errorf("-list output missing %s:\n%s", check, stdout.String())
 		}

@@ -1,0 +1,21 @@
+// Package report mirrors the real repo's rendering sink so
+// DefaultConfig("demo") resolves the same detflow sink names.
+package report
+
+import "fmt"
+
+type Table struct {
+	rows []string
+}
+
+func (t *Table) Row(cells ...any) {
+	t.rows = append(t.rows, fmt.Sprint(cells...))
+}
+
+func (t *Table) Render() string {
+	out := ""
+	for _, r := range t.rows {
+		out += r + "\n"
+	}
+	return out
+}

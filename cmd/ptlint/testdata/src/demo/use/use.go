@@ -4,19 +4,31 @@ package use
 
 import (
 	"sync"
+	"time"
 
 	"demo/internal/pagetable"
+	"demo/internal/ptalloc"
+	"demo/internal/report"
 	"demo/internal/service"
 )
 
 type guarded struct {
 	mu sync.Mutex
-	n  int
+	n  int //ptlint:guardedby mu
 }
 
 func LeakLock(g *guarded) {
 	g.mu.Lock() // locksafety finding
 	g.n++
+}
+
+func ReadRacy(g *guarded) int {
+	return g.n // guardedby finding
+}
+
+func ReadSnapshot(g *guarded) int {
+	//ptlint:allow guardedby suppressed in golden output: single-writer phase
+	return g.n
 }
 
 func CopyCounters(c *pagetable.Counters) {
@@ -26,4 +38,14 @@ func CopyCounters(c *pagetable.Counters) {
 
 func DropError(s *service.Service) {
 	s.Map(1, 2) // errdrop finding
+}
+
+func StaleHandle(a *ptalloc.Arena) uint64 {
+	h := a.Alloc()
+	a.Reset()
+	return a.Get(h) // handlelife finding
+}
+
+func RenderWall(t *report.Table, start time.Time) {
+	t.Row("wall", time.Since(start).Seconds()) // detflow finding
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Config parameterizes the analyzers so the same implementations run
@@ -42,6 +43,19 @@ type Config struct {
 	// MergePkgs lists the packages implementing the sharded fan-out/merge
 	// pipeline; shardmerge flags order-dependent merges only inside them.
 	MergePkgs []string
+	// HandleTypes lists the qualified names ("pkgpath.Type") of
+	// generation-tagged arena handle types; handlelife tracks their
+	// lifetimes across Reset/recycle calls.
+	HandleTypes []string
+	// RecycleFuncs lists qualified names ("pkgpath.Recv.Method" or
+	// "pkgpath.Func") of functions that invalidate outstanding arena
+	// handles, beyond AllocPkg's own Reset methods (e.g. the pooled
+	// recycle path through the Resetter interface).
+	RecycleFuncs []string
+	// SinkFuncs lists qualified names of rendering and merge entry
+	// points; detflow reports when a value tainted by a nondeterminism
+	// source reaches one of them.
+	SinkFuncs []string
 }
 
 // DefaultConfig returns the configuration enforcing this repository's
@@ -70,9 +84,23 @@ func DefaultConfig(module string) Config {
 			p("internal/hashed") + ".snode",
 			p("internal/hashed") + ".invEntry",
 		},
-		AllocPkg:  p("internal/ptalloc"),
-		HotPkgs:   []string{p("internal/sim")},
-		MergePkgs: []string{p("internal/sim"), p("internal/engine")},
+		AllocPkg:    p("internal/ptalloc"),
+		HotPkgs:     []string{p("internal/sim")},
+		MergePkgs:   []string{p("internal/sim"), p("internal/engine")},
+		HandleTypes: []string{p("internal/ptalloc") + ".Handle"},
+		RecycleFuncs: []string{
+			p("internal/pagetable") + ".Resetter.Reset",
+			p("internal/sim") + ".TablePool.Release",
+		},
+		SinkFuncs: []string{
+			p("internal/report") + ".Table.Row",
+			p("internal/report") + ".Table.Render",
+			p("internal/report") + ".Table.RenderCSV",
+			p("internal/engine") + ".Fan",
+			p("internal/engine") + ".FanWith",
+			p("internal/engine") + ".FanSharded",
+			p("internal/engine") + ".FanShardedWith",
+		},
 	}
 }
 
@@ -187,7 +215,27 @@ func Analyzers() []*Analyzer {
 		ArenaAlloc,
 		HotPathAlloc,
 		ShardMerge,
+		GuardedBy,
+		HandleLife,
+		DetFlow,
 	}
+}
+
+// AnalyzerStat is one analyzer's cost and yield over a whole run, for
+// ptlint -stats.
+type AnalyzerStat struct {
+	// Name is the analyzer's check identifier.
+	Name string
+	// Duration is the wall time spent in the analyzer's Run across all
+	// packages, including its share of memoized summary construction
+	// (whichever analyzer touches a shared summary first pays for it).
+	Duration time.Duration
+	// Findings counts the diagnostics the analyzer produced that
+	// survived //ptlint:allow suppression.
+	Findings int
+	// Suppressed counts the diagnostics silenced by //ptlint:allow
+	// annotations — the analyzer fired, a justification stood in.
+	Suppressed int
 }
 
 // Run executes the analyzers over every package of the module, drops
@@ -196,9 +244,20 @@ func Analyzers() []*Analyzer {
 // diagnostics are relative to the module root when possible, so output
 // is stable across checkouts.
 func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	diags, _ := RunWithStats(mod, analyzers, cfg)
+	return diags
+}
+
+// RunWithStats is Run plus per-analyzer timing and finding/suppressed
+// counts, in the same order as the analyzers argument.
+func RunWithStats(mod *Module, analyzers []*Analyzer, cfg Config) ([]Diagnostic, []AnalyzerStat) {
 	var diags []Diagnostic
+	stats := make([]AnalyzerStat, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
 	for _, pkg := range mod.Packages {
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Module:   mod,
@@ -207,14 +266,23 @@ func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
 				Fset:     mod.Fset,
 				diags:    &diags,
 			}
+			start := time.Now() //ptlint:allow nodeterminism lint timing is diagnostics, not rendered output
 			a.Run(pass)
+			stats[i].Duration += time.Since(start) //ptlint:allow nodeterminism lint timing is diagnostics, not rendered output
 		}
 	}
 
+	statOf := map[string]*AnalyzerStat{}
+	for i := range stats {
+		statOf[stats[i].Name] = &stats[i]
+	}
 	allows := collectAllows(mod)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allows.suppresses(d) {
+		if allows.suppresses(d) {
+			statOf[d.Check].Suppressed++
+		} else {
+			statOf[d.Check].Findings++
 			kept = append(kept, d)
 		}
 	}
@@ -238,5 +306,5 @@ func Run(mod *Module, analyzers []*Analyzer, cfg Config) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
+	return diags, stats
 }

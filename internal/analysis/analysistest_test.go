@@ -138,18 +138,24 @@ func fixtureConfig(mod string) analysis.Config {
 		AllocPkg:          mod + "/alloc",
 		HotPkgs:           []string{mod, mod + "/hot"},
 		MergePkgs:         []string{mod, mod + "/merge"},
+		HandleTypes:       []string{mod + "/alloc.Handle"},
+		RecycleFuncs:      []string{mod + "/pt.Resetter.Reset", mod + "/pool.Pool.Release"},
+		SinkFuncs:         []string{mod + "/rep.Table.Row", mod + "/rep.Table.Render", mod + "/eng.Fan"},
 	}
 }
 
 func ExampleWriteJSON() {
 	// The JSON schema is exercised end to end by cmd/ptlint's golden
 	// test; this example pins the empty-report shape.
-	if err := analysis.WriteJSON(os.Stdout, nil); err != nil {
+	if err := analysis.WriteJSON(os.Stdout, []string{"guardedby"}, nil); err != nil {
 		fmt.Println(err)
 	}
 	// Output:
 	// {
-	//   "version": 1,
+	//   "version": 2,
+	//   "checks": [
+	//     "guardedby"
+	//   ],
 	//   "count": 0,
 	//   "diagnostics": []
 	// }

@@ -35,6 +35,18 @@ func TestShardMerge(t *testing.T) {
 	runFixture(t, "merge", analysis.ShardMerge, fixtureConfig("merge"))
 }
 
+func TestGuardedBy(t *testing.T) {
+	runFixture(t, "guard", analysis.GuardedBy, fixtureConfig("guard"))
+}
+
+func TestHandleLife(t *testing.T) {
+	runFixture(t, "life", analysis.HandleLife, fixtureConfig("life"))
+}
+
+func TestDetFlow(t *testing.T) {
+	runFixture(t, "flow", analysis.DetFlow, fixtureConfig("flow"))
+}
+
 // TestNoDeterminismScopedToConfiguredPackages pins that the analyzer is
 // silent outside Config.DeterministicPkgs: the same fixture full of
 // violations produces nothing when the config names no packages.
@@ -86,9 +98,9 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 // TestAnalyzersStable pins the suite's composition: CI and docs name
-// these seven checks.
+// these ten checks.
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc", "hotpathalloc", "shardmerge"}
+	want := []string{"nodeterminism", "atomiccounters", "locksafety", "errdrop", "arenaalloc", "hotpathalloc", "shardmerge", "guardedby", "handlelife", "detflow"}
 	got := analysis.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

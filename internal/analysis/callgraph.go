@@ -1,0 +1,167 @@
+package analysis
+
+// Shared interprocedural infrastructure (DESIGN.md §12): a module-wide
+// index from *types.Func objects to their declarations, static callee
+// resolution for call expressions, and a canonical-path printer for
+// lock and receiver expressions. The three dataflow analyzers
+// (guardedby, handlelife, detflow) are built on these primitives; the
+// index is computed once per loaded module and memoized on it.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcIndex maps every function and method declared in the module to
+// its declaration and declaring package.
+type funcIndex struct {
+	decls map[*types.Func]*ast.FuncDecl
+	pkgOf map[*types.Func]*Package
+}
+
+// funcs returns the module's function index, building it on first use.
+func moduleFuncs(mod *Module) *funcIndex {
+	return mod.memo("funcIndex", func() any {
+		fi := &funcIndex{
+			decls: map[*types.Func]*ast.FuncDecl{},
+			pkgOf: map[*types.Func]*Package{},
+		}
+		for _, pkg := range mod.Packages {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					fi.decls[obj] = fd
+					fi.pkgOf[obj] = pkg
+				}
+			}
+		}
+		return fi
+	}).(*funcIndex)
+}
+
+// calleeOf resolves a call expression to the static *types.Func it
+// invokes: a plain function, a method, or a generic instantiation.
+// Calls through function-typed values and builtins resolve to nil.
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	fun := stripParens(call.Fun)
+	// Generic instantiation: f[T](...) / x.m[T](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = stripParens(idx.X)
+	case *ast.IndexListExpr:
+		fun = stripParens(idx.X)
+	}
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkgObjectOf(pkg, id).(*types.Func)
+	return fn
+}
+
+// callReceiver returns the receiver expression of a method call, or nil
+// for plain function calls.
+func callReceiver(call *ast.CallExpr) ast.Expr {
+	fun := stripParens(call.Fun)
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = stripParens(idx.X)
+	case *ast.IndexListExpr:
+		fun = stripParens(idx.X)
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// pkgObjectOf resolves an identifier in pkg via Uses then Defs, the
+// package-level twin of Pass.ObjectOf for code that runs outside a Pass
+// (module-wide summary construction).
+func pkgObjectOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Defs[id]
+}
+
+// recvTypeName returns the bare type name of a receiver type, unwrapping
+// pointers and generic instantiations: *Arena[T] -> "Arena".
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// qualifiedFuncName renders fn as "pkgpath.Name" for functions and
+// "pkgpath.Recv.Name" for methods, matching the grammar of
+// Config.RecycleFuncs and Config.SinkFuncs.
+func qualifiedFuncName(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if rn := recvTypeName(sig.Recv().Type()); rn != "" {
+			name += rn + "."
+		}
+	}
+	return name + fn.Name()
+}
+
+// shortQualified trims the directory part of a qualified name for
+// display: "example.com/internal/report.Table.Row" -> "report.Table.Row".
+func shortQualified(q string) string {
+	if i := strings.LastIndex(q, "/"); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}
+
+// canonExpr renders e as a canonical access path for lock and arena
+// matching: identifiers and field selections print as written, every
+// index collapses to [*] (all elements of a striped set share one
+// guard), and parens, derefs, and address-of are transparent.
+// Expressions outside this grammar (calls, literals, arithmetic)
+// canonicalize to "".
+func canonExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := canonExpr(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		if base := canonExpr(e.X); base != "" {
+			return base + "[*]"
+		}
+	case *ast.ParenExpr:
+		return canonExpr(e.X)
+	case *ast.StarExpr:
+		return canonExpr(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return canonExpr(e.X)
+		}
+	}
+	return ""
+}

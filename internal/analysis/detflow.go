@@ -1,0 +1,499 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DetFlow generalizes nodeterminism/shardmerge from source-site checks
+// to taint propagation (DESIGN.md §12): a value derived from a
+// wall-clock read, the global RNG, a map-iteration append, or an
+// unsorted channel-merge append is traced through assignments, reads,
+// and module-internal calls; a finding is reported only when such a
+// value reaches a rendering or merge entry point (Config.SinkFuncs), so
+// a nondeterministic value two call frames away from report.Render is
+// caught even though every individual frame looks innocent.
+//
+// Per-function summaries are computed module-wide in import order:
+// whether a function returns a tainted value, and whether a parameter
+// it receives is forwarded into a sink. Taint deliberately does not
+// flow through composite literals or field writes — a timing field
+// stored on a stats struct is the measured output of an experiment,
+// not part of its rendered table — which keeps the engine's
+// walltime bookkeeping clean while still catching direct flows.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc:  "flags nondeterministically-tainted values reaching render/merge sinks through up to two call levels",
+	Run:  runDetFlow,
+}
+
+func runDetFlow(pass *Pass) {
+	if len(pass.Config.SinkFuncs) == 0 {
+		return
+	}
+	res := detflowResults(pass.Module, pass.Config)
+	for _, f := range res.findings[pass.Pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// dfSummary is one function's interprocedural taint behavior.
+type dfSummary struct {
+	returnsTaint string         // source reason, "" when untainted
+	paramSinks   map[int]string // param index -> sink chain it reaches
+}
+
+type dfFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type dfResult struct {
+	summaries map[*types.Func]*dfSummary
+	findings  map[*Package][]dfFinding
+}
+
+// detflowResults computes summaries and findings for the whole module,
+// once. Packages are visited in import order so callee summaries exist
+// before their callers; within a package two rounds cover
+// declaration-order-independent and one-level-recursive flows.
+func detflowResults(mod *Module, cfg Config) *dfResult {
+	key := "detflow/" + strings.Join(cfg.SinkFuncs, ",")
+	return mod.memo(key, func() any {
+		res := &dfResult{
+			summaries: map[*types.Func]*dfSummary{},
+			findings:  map[*Package][]dfFinding{},
+		}
+		sinks := map[string]bool{}
+		for _, s := range cfg.SinkFuncs {
+			sinks[s] = true
+		}
+		for _, pkg := range mod.Packages {
+			// Two summary rounds, then a findings round.
+			for round := 0; round < 3; round++ {
+				collect := round == 2
+				for _, f := range pkg.Files {
+					for _, d := range f.Decls {
+						fd, ok := d.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+						if fn == nil {
+							continue
+						}
+						df := &dfFunc{
+							pkg:     pkg,
+							res:     res,
+							sinks:   sinks,
+							tainted: map[types.Object]string{},
+							summary: &dfSummary{paramSinks: map[int]string{}},
+						}
+						df.seedParams(fd)
+						df.analyze(fd.Body, collect)
+						if !collect {
+							res.summaries[fn] = df.summary
+						} else if len(df.found) > 0 {
+							res.findings[pkg] = append(res.findings[pkg], df.found...)
+						}
+					}
+				}
+			}
+		}
+		return res
+	}).(*dfResult)
+}
+
+// dfFunc is the per-function taint state.
+type dfFunc struct {
+	pkg     *Package
+	res     *dfResult
+	sinks   map[string]bool
+	tainted map[types.Object]string
+	params  []types.Object
+	summary *dfSummary
+	found   []dfFinding
+}
+
+const dfParamPrefix = "param:"
+
+func isParamReason(r string) bool { return strings.HasPrefix(r, dfParamPrefix) }
+
+// pickReason prefers a real source reason over a parameter placeholder.
+func pickReason(a, b string) string {
+	if a == "" || (isParamReason(a) && b != "" && !isParamReason(b)) {
+		return b
+	}
+	return a
+}
+
+func (df *dfFunc) seedParams(fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := df.pkg.Info.Defs[name]
+			df.params = append(df.params, obj)
+			if obj != nil {
+				df.tainted[obj] = dfParamPrefix + strconv.Itoa(i)
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+}
+
+// analyze runs two propagation rounds over the body (assignments may
+// read variables assigned later in the source) and, when collect is
+// set, a final round recording sink findings.
+func (df *dfFunc) analyze(body *ast.BlockStmt, collect bool) {
+	df.propagate(body)
+	df.propagate(body)
+	df.sinkScan(body, collect)
+}
+
+// propagate applies the taint transfer functions of assignments and
+// range statements, in source order. Function literal bodies are walked
+// inline: a closure shares its enclosing function's variables.
+func (df *dfFunc) propagate(body *ast.BlockStmt) {
+	sorted := dfSortedSlices(df.pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			df.assign(n)
+		case *ast.RangeStmt:
+			df.rangeTaint(n, sorted)
+		}
+		return true
+	})
+}
+
+func (df *dfFunc) assign(as *ast.AssignStmt) {
+	taintLhs := func(lhs ast.Expr, reason string) {
+		if reason == "" {
+			return
+		}
+		if id, ok := stripParens(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkgObjectOf(df.pkg, id); obj != nil {
+				df.tainted[obj] = pickReason(df.tainted[obj], reason)
+			}
+		}
+		// Field and index writes deliberately do not taint the base.
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		r := df.taintOf(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			taintLhs(lhs, r)
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i < len(as.Lhs) {
+			taintLhs(as.Lhs[i], df.taintOf(rhs))
+		}
+	}
+}
+
+// rangeTaint handles both range hazards: loop variables of a tainted
+// container become tainted, and appends to an outer variable inside a
+// map/chan range taint the target with an iteration-order reason
+// (unless the collect-and-sort idiom restores a canonical order).
+func (df *dfFunc) rangeTaint(rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	if r := df.taintOf(rs.X); r != "" {
+		for _, v := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pkgObjectOf(df.pkg, id); obj != nil {
+					df.tainted[obj] = pickReason(df.tainted[obj], r)
+				}
+			}
+		}
+	}
+	t := dfTypeOf(df.pkg, rs.X)
+	if t == nil {
+		return
+	}
+	var reason string
+	switch t.Underlying().(type) {
+	case *types.Map:
+		reason = "map iteration order"
+	case *types.Chan:
+		reason = "channel delivery order"
+	default:
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok {
+			if obj := pkgObjectOf(df.pkg, id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := stripParens(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			fid, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pkgObjectOf(df.pkg, fid).(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			tid, ok := call.Args[0].(*ast.Ident)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			obj := pkgObjectOf(df.pkg, tid)
+			if obj == nil || obj.Pos() == token.NoPos ||
+				(obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+				continue // loop-local collection
+			}
+			if sorted[obj] && dfAppendsOnlyLoopVars(df.pkg, call, loopVars) {
+				continue // collect-and-sort: canonical order restored
+			}
+			df.tainted[obj] = pickReason(df.tainted[obj], reason)
+		}
+		return true
+	})
+}
+
+// sinkScan records findings for tainted values reaching sinks, and the
+// summary facts (returns, param-to-sink forwarding).
+func (df *dfFunc) sinkScan(body *ast.BlockStmt, collect bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if reason := df.taintOf(r); reason != "" && !isParamReason(reason) {
+					df.summary.returnsTaint = pickReason(df.summary.returnsTaint, reason)
+				}
+			}
+		case *ast.CallExpr:
+			df.checkSinkCall(n, collect)
+		}
+		return true
+	})
+}
+
+func (df *dfFunc) checkSinkCall(call *ast.CallExpr, collect bool) {
+	callee := calleeOf(df.pkg, call)
+	if callee == nil {
+		return
+	}
+	q := qualifiedFuncName(callee)
+	if df.sinks[q] {
+		df.flagArgs(call, shortQualified(q), collect)
+		return
+	}
+	sum := df.res.summaries[callee]
+	if sum == nil || len(sum.paramSinks) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		chain, ok := sum.paramSinks[i]
+		if !ok {
+			continue
+		}
+		reason := df.taintOf(arg)
+		switch {
+		case reason == "":
+		case isParamReason(reason):
+			idx := paramIndex(reason)
+			df.summary.paramSinks[idx] = callee.Name() + " -> " + chain
+		case collect:
+			df.found = append(df.found, dfFinding{
+				pos: arg.Pos(),
+				msg: "nondeterministic value (tainted by " + reason + ") reaches " + chain + " via " + callee.Name() + ": rendered output must be byte-identical at any worker count; derive it deterministically or annotate the exception",
+			})
+		}
+	}
+}
+
+// flagArgs reports tainted arguments of a direct sink call.
+func (df *dfFunc) flagArgs(call *ast.CallExpr, sink string, collect bool) {
+	for _, arg := range call.Args {
+		reason := df.taintOf(arg)
+		switch {
+		case reason == "":
+		case isParamReason(reason):
+			df.summary.paramSinks[paramIndex(reason)] = sink
+		case collect:
+			df.found = append(df.found, dfFinding{
+				pos: arg.Pos(),
+				msg: "nondeterministic value (tainted by " + reason + ") reaches " + sink + ": rendered output must be byte-identical at any worker count; derive it deterministically or annotate the exception",
+			})
+		}
+	}
+}
+
+func paramIndex(reason string) int {
+	n := 0
+	for _, c := range strings.TrimPrefix(reason, dfParamPrefix) {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// taintOf computes the taint reason of an expression, "" when clean.
+func (df *dfFunc) taintOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pkgObjectOf(df.pkg, e); obj != nil {
+			return df.tainted[obj]
+		}
+	case *ast.ParenExpr:
+		return df.taintOf(e.X)
+	case *ast.StarExpr:
+		return df.taintOf(e.X)
+	case *ast.UnaryExpr:
+		return df.taintOf(e.X)
+	case *ast.BinaryExpr:
+		return pickReason(df.taintOf(e.X), df.taintOf(e.Y))
+	case *ast.SelectorExpr:
+		// A field read of a tainted base is tainted; a package-qualified
+		// name is not a read of anything.
+		if id, ok := stripParens(e.X).(*ast.Ident); ok {
+			if _, isPkg := pkgObjectOf(df.pkg, id).(*types.PkgName); isPkg {
+				return ""
+			}
+		}
+		return df.taintOf(e.X)
+	case *ast.IndexExpr:
+		return df.taintOf(e.X)
+	case *ast.IndexListExpr:
+		return df.taintOf(e.X)
+	case *ast.SliceExpr:
+		return df.taintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return df.taintOf(e.X)
+	case *ast.CallExpr:
+		return df.callTaint(e)
+	}
+	// Composite and basic literals, func literals: clean by design.
+	return ""
+}
+
+// callTaint computes the taint of a call's value: a nondeterminism
+// source, a module function summarized as returning taint, a type
+// conversion, or any ordinary call propagating a tainted argument or
+// receiver into its result.
+func (df *dfFunc) callTaint(call *ast.CallExpr) string {
+	if reason := dfSourceCall(df.pkg, call); reason != "" {
+		return reason
+	}
+	// Type conversions (float64(x), time.Duration(x)) pass taint through.
+	if len(call.Args) == 1 {
+		if tv, ok := df.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return df.taintOf(call.Args[0])
+		}
+	}
+	if callee := calleeOf(df.pkg, call); callee != nil {
+		if sum := df.res.summaries[callee]; sum != nil && sum.returnsTaint != "" {
+			return "via " + callee.Name() + ": " + sum.returnsTaint
+		}
+	}
+	reason := ""
+	for _, a := range call.Args {
+		reason = pickReason(reason, df.taintOf(a))
+	}
+	if recv := callReceiver(call); recv != nil {
+		reason = pickReason(reason, df.taintOf(recv))
+	}
+	return reason
+}
+
+// dfSourceCall recognizes the root nondeterminism sources: wall-clock
+// reads and the global RNG (mirroring nodeterminism's source set).
+func dfSourceCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkgObjectOf(pkg, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "" // methods, e.g. a locally-seeded (*rand.Rand).Intn
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// deterministic constructors
+		default:
+			return fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// dfTypeOf is Pass.TypeOf for code running outside a Pass.
+func dfTypeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// dfSortedSlices mirrors nodeterminism's sortedSlices at package scope.
+func dfSortedSlices(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkgObjectOf(pkg, sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pkgObjectOf(pkg, id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// dfAppendsOnlyLoopVars mirrors appendsOnlyLoopVars at package scope.
+func dfAppendsOnlyLoopVars(pkg *Package, call *ast.CallExpr, loopVars map[types.Object]bool) bool {
+	if len(loopVars) == 0 {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok || !loopVars[pkgObjectOf(pkg, id)] {
+			return false
+		}
+	}
+	return len(call.Args) > 1
+}

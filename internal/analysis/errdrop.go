@@ -60,9 +60,45 @@ func runErrDrop(pass *Pass) {
 				checkDroppedCall(pass, iface, n.Call, "result of %s is discarded by defer")
 			case *ast.AssignStmt:
 				checkBlankAssign(pass, iface, n)
+			case *ast.GenDecl:
+				checkBlankVarDecl(pass, iface, n)
 			}
 			return true
 		})
+	}
+}
+
+// checkBlankVarDecl flags `var _ = pt.Unmap(v)` declarations, the
+// declaration-statement twin of the blank assignment.
+func checkBlankVarDecl(pass *Pass, iface *types.Interface, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		// Single call with multiple results: var ok, _ = f() style.
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			call, ok := vs.Values[0].(*ast.CallExpr)
+			if !ok || vs.Names[len(vs.Names)-1].Name != "_" {
+				continue
+			}
+			if n, ok := guardedErrCall(pass, iface, call); ok {
+				pass.Reportf(call.Pos(), "error result of %s assigned to _: handle or annotate the deliberate drop", n)
+			}
+			continue
+		}
+		for i, name := range vs.Names {
+			if name.Name != "_" || i >= len(vs.Values) {
+				continue
+			}
+			call, ok := vs.Values[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if n, ok := guardedErrCall(pass, iface, call); ok {
+				pass.Reportf(call.Pos(), "error result of %s assigned to _: handle or annotate the deliberate drop", n)
+			}
+		}
 	}
 }
 

@@ -5,11 +5,12 @@ import (
 	"io"
 )
 
-// JSON output schema, version 1. Downstream tooling (CI dashboards)
+// JSON output schema, version 2. Downstream tooling (CI dashboards)
 // may rely on these names; bump Version on any incompatible change.
 //
 //	{
-//	  "version": 1,
+//	  "version": 2,
+//	  "checks": ["nodeterminism", "guardedby"], // analyzers that ran
 //	  "count": 2,
 //	  "diagnostics": [
 //	    {
@@ -22,11 +23,15 @@ import (
 //	  ]
 //	}
 //
+// checks lists the analyzers that ran, in execution order, so a clean
+// report is distinguishable from a report that never ran a check.
 // diagnostics is always present (empty array when clean) and sorted by
 // (file, line, column, check).
+//
+// Version history: v1 lacked the checks field.
 
 // jsonVersion is the current schema version.
-const jsonVersion = 1
+const jsonVersion = 2
 
 type jsonDiagnostic struct {
 	Check   string `json:"check"`
@@ -38,15 +43,21 @@ type jsonDiagnostic struct {
 
 type jsonReport struct {
 	Version     int              `json:"version"`
+	Checks      []string         `json:"checks"`
 	Count       int              `json:"count"`
 	Diagnostics []jsonDiagnostic `json:"diagnostics"`
 }
 
 // WriteJSON renders diagnostics in the versioned machine-readable
-// schema above, with a trailing newline.
-func WriteJSON(w io.Writer, diags []Diagnostic) error {
+// schema above, with a trailing newline. checks names the analyzers
+// that produced the report.
+func WriteJSON(w io.Writer, checks []string, diags []Diagnostic) error {
+	if checks == nil {
+		checks = []string{}
+	}
 	rep := jsonReport{
 		Version:     jsonVersion,
+		Checks:      checks,
 		Count:       len(diags),
 		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
 	}

@@ -53,6 +53,24 @@ type Module struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+	memos  map[string]any
+}
+
+// memo returns the module-wide value cached under key, building it on
+// first use. The interprocedural analyzers (guardedby, handlelife,
+// detflow) store their call graphs and function summaries here so
+// Run's per-package passes share one computation. Run is sequential,
+// so no locking is needed.
+func (m *Module) memo(key string, build func() any) any {
+	if m.memos == nil {
+		m.memos = map[string]any{}
+	}
+	v, ok := m.memos[key]
+	if !ok {
+		v = build()
+		m.memos[key] = v
+	}
+	return v
 }
 
 // Lookup returns the loaded package with the given import path, or nil.

@@ -168,6 +168,21 @@ type lockCall struct {
 // Nested function literals are skipped here — the AST walk in
 // runLockSafety visits them as their own scopes, which matches how
 // defer and return interact with the enclosing function.
+//
+// A non-deferred (R)Lock is flagged when:
+//
+//   - the function contains no matching (R)Unlock at all;
+//   - a return after the lock has no covering unlock — an unlock covers
+//     a return only if it lies between the lock and the return AND
+//     every loop enclosing the unlock but not the lock also encloses
+//     the return (an unlock inside a loop body that may run zero times
+//     does not release for the code after the loop);
+//   - a break or continue exits a construct the lock was taken inside,
+//     jumping over the matching unlock, with no further unlock after
+//     the construct.
+//
+// A deferred matching unlock on the same receiver always satisfies the
+// pairing.
 func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
 	var calls []lockCall
 	var returns []token.Pos
@@ -190,45 +205,212 @@ func checkLockPairing(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
+	var loops []ast.Node
+	var breaks []breakExit
+	ast.Walk(exitWalker{loops: &loops, breaks: &breaks}, body)
+	// Loops enclosing a position, for the coverage rule below.
+	loopsAround := func(pos token.Pos) []ast.Node {
+		var out []ast.Node
+		for _, l := range loops {
+			if l.Pos() < pos && pos < l.End() {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
 	pair := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
 	for _, c := range calls {
 		want, isLock := pair[c.method]
 		if !isLock || c.deferred {
 			continue
 		}
+		var unlocks []lockCall
 		var deferredUnlock bool
-		first := token.Pos(-1)
-		anyUnlock := false
 		for _, u := range calls {
 			if u.recv != c.recv || u.method != want {
 				continue
 			}
-			anyUnlock = true
 			if u.deferred {
 				deferredUnlock = true
-			} else if u.pos > c.pos && (first < 0 || u.pos < first) {
-				first = u.pos
+			} else {
+				unlocks = append(unlocks, u)
 			}
 		}
 		if deferredUnlock {
 			continue
 		}
-		if !anyUnlock {
+		if len(unlocks) == 0 {
 			pass.Reportf(c.pos, "%s.%s with no matching %s in this function: the lock leaks on every path", c.recv, c.method, want)
 			continue
 		}
-		end := body.End()
-		if first >= 0 {
-			end = first
+
+		cLoops := loopsAround(c.pos)
+		// covers reports whether unlock u releases the lock for a point
+		// at pos: u must lie between, and every loop around u that is
+		// not around the lock must also be around pos (otherwise the
+		// loop may run zero times, or pos is past the iteration that
+		// unlocked).
+		covers := func(u lockCall, pos token.Pos) bool {
+			if u.pos <= c.pos || u.pos >= pos {
+				return false
+			}
+			for _, l := range loopsAround(u.pos) {
+				if !containsNode(cLoops, l) && !(l.Pos() < pos && pos < l.End()) {
+					return false
+				}
+			}
+			return true
 		}
+
+		flagged := false
 		for _, r := range returns {
-			if r > c.pos && r < end {
+			if r <= c.pos || flagged {
+				continue
+			}
+			covered := false
+			between := false
+			for _, u := range unlocks {
+				if u.pos > c.pos && u.pos < r {
+					between = true
+				}
+				if covers(u, r) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			flagged = true
+			if between {
+				pass.Reportf(c.pos, "%s.%s can reach a return (line %d) before the matching %s: the only %s before it is inside a loop that may run zero times; unlock outside the loop or defer it",
+					c.recv, c.method, pass.Fset.Position(r).Line, want, want)
+			} else {
 				pass.Reportf(c.pos, "%s.%s can reach a return (line %d) before the matching %s: defer the unlock or release before returning",
 					c.recv, c.method, pass.Fset.Position(r).Line, want)
+			}
+		}
+		if flagged {
+			continue
+		}
+
+		// Break/continue escape: the branch exits a construct the lock
+		// was taken inside, jumping over the matching unlock, and no
+		// unlock after the construct picks it up.
+		for _, b := range breaks {
+			if b.pos <= c.pos || c.pos <= b.target.Pos() || c.pos >= b.target.End() {
+				continue
+			}
+			skipped, releasedBefore, after := false, false, false
+			for _, u := range unlocks {
+				switch {
+				case u.pos > c.pos && u.pos < b.pos:
+					releasedBefore = true
+				case u.pos > b.pos && u.pos < b.target.End():
+					skipped = true
+				case u.pos >= b.target.End():
+					after = true
+				}
+			}
+			if skipped && !releasedBefore && !after {
+				pass.Reportf(c.pos, "%s.%s still held at the %s (line %d) that exits this %s before the matching %s: release before branching or defer the unlock",
+					c.recv, c.method, b.word, pass.Fset.Position(b.pos).Line, b.kind, want)
 				break
 			}
 		}
 	}
+}
+
+// breakExit is one break/continue statement and the construct it exits.
+type breakExit struct {
+	pos    token.Pos
+	target ast.Node
+	word   string // "break" or "continue"
+	kind   string // "loop" or "switch"
+}
+
+// exitEntry is one enclosing breakable construct during the walk.
+type exitEntry struct {
+	node  ast.Node
+	label string
+	loop  bool
+}
+
+// exitWalker resolves each break/continue to the construct it exits,
+// carrying the enclosing-construct stack by value so it unwinds
+// naturally. Function literals are separate scopes.
+type exitWalker struct {
+	stack        []exitEntry
+	pendingLabel string
+	loops        *[]ast.Node
+	breaks       *[]breakExit
+}
+
+func (w exitWalker) Visit(n ast.Node) ast.Visitor {
+	switch s := n.(type) {
+	case nil:
+		return nil
+	case *ast.FuncLit:
+		return nil
+	case *ast.LabeledStmt:
+		w2 := w
+		w2.pendingLabel = s.Label.Name
+		return w2
+	case *ast.ForStmt, *ast.RangeStmt:
+		*w.loops = append(*w.loops, n)
+		return w.push(n, true)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.push(n, false)
+	case *ast.BranchStmt:
+		var word string
+		switch s.Tok {
+		case token.BREAK:
+			word = "break"
+		case token.CONTINUE:
+			word = "continue"
+		default:
+			return nil // goto/fallthrough: out of scope
+		}
+		for i := len(w.stack) - 1; i >= 0; i-- {
+			e := w.stack[i]
+			if s.Label != nil && e.label != s.Label.Name {
+				continue
+			}
+			if word == "continue" && !e.loop {
+				continue
+			}
+			kind := "switch"
+			if e.loop {
+				kind = "loop"
+			}
+			*w.breaks = append(*w.breaks, breakExit{pos: s.Pos(), target: e.node, word: word, kind: kind})
+			break
+		}
+		return nil
+	default:
+		w2 := w
+		w2.pendingLabel = ""
+		return w2
+	}
+}
+
+// push returns a child visitor with n on the enclosing stack, consuming
+// any pending label.
+func (w exitWalker) push(n ast.Node, loop bool) ast.Visitor {
+	w2 := w
+	w2.stack = append(append([]exitEntry{}, w.stack...), exitEntry{node: n, label: w.pendingLabel, loop: loop})
+	w2.pendingLabel = ""
+	return w2
+}
+
+func containsNode(list []ast.Node, n ast.Node) bool {
+	for _, v := range list {
+		if v == n {
+			return true
+		}
+	}
+	return false
 }
 
 // syncLockCall recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock calls

@@ -11,12 +11,14 @@ func Drops(t pt.PageTable, s *svc.Service) {
 	t.Map(1, 2)    // want:errdrop result of errpt/pt.PageTable.Map is discarded
 	_ = t.Unmap(1) // want:errdrop error result of errpt/pt.PageTable.Unmap assigned to _
 	l := pt.NewLinear()
-	l.Unmap(3)                  // want:errdrop result of
-	_, _ = l.ProtectRange(0, 4) // want:errdrop assigned to _
-	s.Map(1, 2)                 // want:errdrop result of
-	s.MapRange(0, 0, 8)         // want:errdrop result of
-	go t.Map(7, 8)              // want:errdrop discarded by go statement
-	defer t.Unmap(9)            // want:errdrop discarded by defer
+	l.Unmap(3)                      // want:errdrop result of
+	_, _ = l.ProtectRange(0, 4)     // want:errdrop assigned to _
+	s.Map(1, 2)                     // want:errdrop result of
+	s.MapRange(0, 0, 8)             // want:errdrop result of
+	go t.Map(7, 8)                  // want:errdrop discarded by go statement
+	defer t.Unmap(9)                // want:errdrop discarded by defer
+	var _ = t.Unmap(10)             // want:errdrop assigned to _
+	var _, _ = l.ProtectRange(0, 4) // want:errdrop assigned to _
 }
 
 func Handled(t pt.PageTable, s *svc.Service) error {

@@ -1,0 +1,9 @@
+// Package eng is the flow fixture's engine sink: worker counts must be
+// derived deterministically.
+package eng
+
+func Fan(n int, cell func(int)) {
+	for i := 0; i < n; i++ {
+		cell(i)
+	}
+}

@@ -1,0 +1,3 @@
+module flow
+
+go 1.22

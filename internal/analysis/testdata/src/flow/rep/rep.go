@@ -1,0 +1,21 @@
+// Package rep is the flow fixture's report sink: rendered output must
+// be byte-identical across runs.
+package rep
+
+import "fmt"
+
+type Table struct {
+	rows []string
+}
+
+func (t *Table) Row(cells ...any) {
+	t.rows = append(t.rows, fmt.Sprint(cells...))
+}
+
+func (t *Table) Render() string {
+	out := ""
+	for _, r := range t.rows {
+		out += r + "\n"
+	}
+	return out
+}

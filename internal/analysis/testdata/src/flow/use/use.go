@@ -1,0 +1,110 @@
+// Package use exercises detflow: wall-clock, global-RNG, map-order and
+// channel-order taint reaching report/engine sinks, directly and one
+// call level away.
+package use
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"flow/eng"
+	"flow/rep"
+)
+
+// DirectClock feeds a wall-clock duration straight into a report row.
+func DirectClock(t *rep.Table, start time.Time) {
+	el := time.Since(start)
+	t.Row("wall", el.Seconds()) // want:detflow tainted by time.Since
+}
+
+// jitter returns global-RNG taint one call level up.
+func jitter() float64 {
+	return rand.Float64()
+}
+
+// RNGViaHelper launders the RNG through a helper before rendering it.
+func RNGViaHelper(t *rep.Table) {
+	j := jitter()
+	t.Row("jitter", j) // want:detflow math/rand
+}
+
+// emit forwards its argument into the sink: a param-sink chain.
+func emit(t *rep.Table, v any) {
+	t.Row(v)
+}
+
+// TaintedViaEmit reaches the sink through the forwarding helper.
+func TaintedViaEmit(t *rep.Table) {
+	now := time.Now()
+	emit(t, now) // want:detflow reaches rep.Table.Row via emit
+}
+
+// MapOrder collects rows in map iteration order and renders them
+// without sorting.
+func MapOrder(t *rep.Table, m map[string]int) {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k)
+	}
+	for _, l := range lines {
+		t.Row(l) // want:detflow map iteration order
+	}
+}
+
+// SortedIsFine collects keys and sorts before rendering: deterministic.
+func SortedIsFine(t *rep.Table, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Row(k, m[k])
+	}
+}
+
+// LocalRNGIsFine: a seeded local source is reproducible.
+func LocalRNGIsFine(t *rep.Table, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	t.Row("sample", r.Float64())
+}
+
+// ChanOrder accumulates values in channel delivery order and renders
+// the unsorted batch.
+func ChanOrder(t *rep.Table, ch chan int) {
+	var got []int
+	for v := range ch {
+		got = append(got, v)
+	}
+	t.Row(got) // want:detflow channel delivery order
+}
+
+// TaintedFanArg sizes the fan-out from the wall clock.
+func TaintedFanArg(t *rep.Table) {
+	n := int(time.Now().UnixNano() % 8)
+	eng.Fan(n, func(i int) { // want:detflow reaches eng.Fan
+		t.Row("cell", i)
+	})
+}
+
+// CompositeBarrier pins the design decision that taint does not flow
+// through composite literals or field writes: timing fields stored on
+// a struct do not poison the struct's deterministic fields.
+type row struct {
+	name string
+	wall time.Duration
+}
+
+func CompositeBarrier(t *rep.Table, start time.Time) {
+	r := row{name: "fill", wall: time.Since(start)}
+	t.Row(r.name)
+}
+
+// Deliberate carries a justification: wall time in a throwaway debug
+// table is acceptable.
+func Deliberate(t *rep.Table, start time.Time) {
+	el := time.Since(start)
+	//ptlint:allow detflow debug-only table, never compared across runs
+	t.Row("wall", el.Seconds())
+}

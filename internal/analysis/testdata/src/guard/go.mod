@@ -1,0 +1,3 @@
+module guard
+
+go 1.22

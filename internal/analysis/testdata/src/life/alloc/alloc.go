@@ -1,0 +1,28 @@
+// Package alloc is the life fixture's stand-in arena: generation-
+// tagged handles invalidated in O(1) by Reset.
+package alloc
+
+type Handle struct {
+	idx, gen uint32
+}
+
+func (h Handle) IsZero() bool { return h.idx == 0 }
+
+type Arena struct {
+	slots []uint64
+	gen   uint32
+}
+
+func (a *Arena) Alloc() Handle {
+	a.slots = append(a.slots, 0)
+	return Handle{idx: uint32(len(a.slots)), gen: a.gen}
+}
+
+func (a *Arena) Get(h Handle) uint64 {
+	return a.slots[h.idx-1]
+}
+
+func (a *Arena) Reset() {
+	a.slots = a.slots[:0]
+	a.gen++
+}

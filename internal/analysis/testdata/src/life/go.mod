@@ -1,0 +1,3 @@
+module life
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package pool is the life fixture's recycling pool: Release resets
+// the returned table, invalidating any handles into its arena.
+package pool
+
+import "life/pt"
+
+type Pool struct {
+	idle []pt.Resetter
+}
+
+func (p *Pool) Release(r pt.Resetter) {
+	r.Reset()
+	p.idle = append(p.idle, r)
+}

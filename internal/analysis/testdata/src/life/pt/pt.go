@@ -1,0 +1,7 @@
+// Package pt declares the recycle interface the pooled path resets
+// through.
+package pt
+
+type Resetter interface {
+	Reset()
+}

@@ -1,0 +1,84 @@
+// Package use exercises handlelife: handles crossing Reset and pooled
+// recycle points, directly and one call level away.
+package use
+
+import (
+	"life/alloc"
+	"life/pool"
+	"life/pt"
+)
+
+// Cached outlives every arena epoch.
+var Cached alloc.Handle // want:handlelife package-level handle
+
+// StaleAfterReset is the classic use-after-epoch-bump.
+func StaleAfterReset(a *alloc.Arena) uint64 {
+	h := a.Alloc()
+	a.Reset()
+	return a.Get(h) // want:handlelife may be stale
+}
+
+// FreshAfterReset re-acquires the handle after the reset: fine.
+func FreshAfterReset(a *alloc.Arena) uint64 {
+	h := a.Alloc()
+	a.Reset()
+	h = a.Alloc()
+	return a.Get(h)
+}
+
+// DifferentArena: resetting b cannot invalidate a's handle.
+func DifferentArena(a, b *alloc.Arena) uint64 {
+	h := a.Alloc()
+	b.Reset()
+	return a.Get(h)
+}
+
+// ZeroProbeIsFine: IsZero is a validity check, not a dereference.
+func ZeroProbeIsFine(a *alloc.Arena) bool {
+	h := a.Alloc()
+	a.Reset()
+	return h.IsZero()
+}
+
+// UseBeforeResetIsFine: the dereference happens before the epoch bump.
+func UseBeforeResetIsFine(a *alloc.Arena) uint64 {
+	h := a.Alloc()
+	v := a.Get(h)
+	a.Reset()
+	return v
+}
+
+// recycle resets one call level away from its callers.
+func recycle(a *alloc.Arena) {
+	a.Reset()
+}
+
+// StaleViaHelper crosses the recycle point through the helper.
+func StaleViaHelper(a *alloc.Arena) uint64 {
+	h := a.Alloc()
+	recycle(a)
+	return a.Get(h) // want:handlelife may be stale
+}
+
+// StaleAfterInterfaceReset resets through the Resetter interface.
+func StaleAfterInterfaceReset(a *alloc.Arena, r pt.Resetter) uint64 {
+	h := a.Alloc()
+	r.Reset()
+	return a.Get(h) // want:handlelife may be stale
+}
+
+// StaleAcrossRelease: a pooled recycle invalidates outstanding handles
+// of the released table's arena.
+func StaleAcrossRelease(a *alloc.Arena, p *pool.Pool, r pt.Resetter) uint64 {
+	h := a.Alloc()
+	p.Release(r)
+	return a.Get(h) // want:handlelife may be stale
+}
+
+// Deliberate carries a justification: the stale deref is the point.
+func Deliberate(a *alloc.Arena) uint64 {
+	h := a.Alloc()
+	a.Reset()
+	//ptlint:allow handlelife fixture deliberately dereferences a stale generation to exercise the panic path
+	return a.Get(h)
+}

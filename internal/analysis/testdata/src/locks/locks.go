@@ -122,3 +122,85 @@ func Handoff(g *Guarded) {
 func Release(g *Guarded) {
 	g.mu.Unlock()
 }
+
+// --- loop and branch shapes ---
+
+// UnlockOnlyInLoop leaks: the only unlock is inside a loop that may
+// run zero times, so the return after the loop can hold the lock.
+func UnlockOnlyInLoop(g *Guarded, items []int) int {
+	g.mu.Lock() // want:locksafety inside a loop that may run zero times
+	total := 0
+	for _, it := range items {
+		total += it
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// ProbeLoopIsFine is the software-TLB probe shape: hit paths unlock
+// then return inside the loop, and the fall-through path unlocks after
+// it. Every return is covered by an unlock in the same iteration scope.
+func ProbeLoopIsFine(g *Guarded, items []int) int {
+	g.mu.Lock()
+	for _, it := range items {
+		if it == 42 {
+			g.mu.Unlock()
+			return it
+		}
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// BreakSkipsUnlock leaks: the labeled break jumps out of the loop past
+// the only in-loop unlock.
+func BreakSkipsUnlock(g *Guarded, items []int) int {
+	total := 0
+outer:
+	for _, it := range items {
+		g.mu.Lock() // want:locksafety still held at the break
+		if it < 0 {
+			break outer
+		}
+		total += it
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// PlainBreakSkipsUnlock leaks the same way without a label.
+func PlainBreakSkipsUnlock(g *Guarded, items []int) {
+	for _, it := range items {
+		g.mu.Lock() // want:locksafety still held at the break
+		if it == 0 {
+			break
+		}
+		g.n += it
+		g.mu.Unlock()
+	}
+}
+
+// ContinueAfterUnlockIsFine: the lock is released before the continue.
+func ContinueAfterUnlockIsFine(g *Guarded, items []int) {
+	for _, it := range items {
+		g.mu.Lock()
+		g.n += it
+		g.mu.Unlock()
+		if it == 0 {
+			continue
+		}
+	}
+}
+
+// BreakToFinalUnlockIsFine: the lock is taken outside the loop the
+// break exits, and the unlock after the loop covers both paths.
+func BreakToFinalUnlockIsFine(g *Guarded, items []int) {
+	g.mu.Lock()
+	for _, it := range items {
+		if it == 0 {
+			break
+		}
+		g.n += it
+	}
+	g.mu.Unlock()
+}

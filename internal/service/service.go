@@ -147,8 +147,10 @@ type stripe struct {
 
 // Service wraps one page-table organization. Create with Wrap.
 type Service struct {
-	cfg     Config
-	table   pagetable.PageTable
+	cfg Config
+	// table's mapped state may only be read or mutated under the stripe
+	// covering the touched page block; the pointer itself is write-once.
+	table   pagetable.PageTable //ptlint:guardedby stripes[*].mu
 	stripes []stripe
 	cache   []atomic.Pointer[cached]
 
@@ -183,11 +185,15 @@ func MustWrap(table pagetable.PageTable, cfg Config) *Service {
 }
 
 // Name implements PageTable.
+//
+//ptlint:allow guardedby Name reads immutable organization metadata, never mapped state
 func (s *Service) Name() string { return s.table.Name() }
 
 // Table returns the wrapped organization, for size and walk-cost
 // inspection. Callers must not mutate it directly while the service is
 // in use — direct writes bypass cache invalidation.
+//
+//ptlint:allow guardedby write-once pointer escape hatch; the doc contract forbids concurrent mutation
 func (s *Service) Table() pagetable.PageTable { return s.table }
 
 // stripeFor returns the lock covering vpn's page block. All pages of one
@@ -338,6 +344,7 @@ func (s *Service) invalidate(vpn addr.VPN) {
 // pagetable.MemReporter. Safe to call concurrently with traffic — the
 // arenas keep their stats in atomics.
 func (s *Service) MemStats() pagetable.MemStats {
+	//ptlint:allow guardedby arena stats are atomics; no stripe needed for a monitoring read
 	if mr, ok := s.table.(pagetable.MemReporter); ok {
 		return mr.MemStats()
 	}

@@ -18,7 +18,7 @@ import (
 // fresh — callers never need to branch.
 type TablePool struct {
 	mu   sync.Mutex
-	idle map[string][]pagetable.PageTable
+	idle map[string][]pagetable.PageTable //ptlint:guardedby mu
 }
 
 // NewTablePool returns an empty pool, safe for concurrent use.

@@ -83,9 +83,9 @@ type Cache struct {
 	backing pagetable.PageTable
 
 	mu    sync.Mutex
-	sets  [][]entry
-	tick  uint64
-	stats Stats
+	sets  [][]entry //ptlint:guardedby mu
+	tick  uint64    //ptlint:guardedby mu
+	stats Stats     //ptlint:guardedby mu
 }
 
 // New creates a software TLB over the backing table.

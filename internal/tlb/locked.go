@@ -1,0 +1,92 @@
+package tlb
+
+import (
+	"sync"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/pte"
+)
+
+// Locked wraps a *TLB behind one mutex for concurrent callers. The
+// simulated TLB is deliberately single-threaded — its MRU filter and
+// LRU list mutate on every Access — so sharing one model between the
+// goroutines of a concurrent replay (the engine's fan-out, or a shared
+// second-level TLB in front of per-worker first levels) needs full
+// serialization, not just write locking. Workers that want parallelism
+// without a shared lock should use Partitioned instead; Locked is for
+// the shared-structure configurations where contention is the point of
+// the measurement.
+type Locked struct {
+	mu sync.Mutex
+	// tlb's model state (LRU list, MRU filter, stats) mutates on reads
+	// as well as writes, so every touch serializes on mu.
+	tlb *TLB //ptlint:guardedby mu
+}
+
+// NewLocked creates a mutex-guarded TLB.
+func NewLocked(cfg Config) (*Locked, error) {
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Locked{tlb: t}, nil
+}
+
+// MustNewLocked is NewLocked for known-good configurations; it panics
+// on error.
+func MustNewLocked(cfg Config) *Locked {
+	l, err := NewLocked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Access serializes TLB.Access.
+func (l *Locked) Access(va addr.V) Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tlb.Access(va)
+}
+
+// Translate serializes TLB.Translate.
+func (l *Locked) Translate(va addr.V) (addr.PPN, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tlb.Translate(va)
+}
+
+// Insert serializes TLB.Insert.
+func (l *Locked) Insert(e pte.Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tlb.Insert(e)
+}
+
+// InsertBlock serializes TLB.InsertBlock.
+func (l *Locked) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tlb.InsertBlock(vpbn, entries)
+}
+
+// Flush serializes TLB.Flush.
+func (l *Locked) Flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tlb.Flush()
+}
+
+// Stats returns a snapshot of the wrapped model's counters.
+func (l *Locked) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tlb.Stats()
+}
+
+// ResetStats serializes TLB.ResetStats.
+func (l *Locked) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tlb.ResetStats()
+}
