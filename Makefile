@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint fuzz-smoke bench bench-alloc bench-replay
+.PHONY: all build test lint fuzz-smoke bench bench-alloc bench-replay bench-mmu
 
 all: build lint test
 
@@ -59,3 +59,16 @@ bench-replay:
 	  $(GO) test -run '^$$' -bench BenchmarkGeneratorFill -benchmem -count 3 ./internal/trace/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFigure11(Replay|Sharded)' -benchmem -count 3 ./internal/sim/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_replay.json
+
+# bench-mmu measures the composable translation hierarchy — the
+# Hierarchy dispatch micro-costs (L1 hit bare vs behind the full
+# L1+L2+PWC chain, and the miss path through filter and fill) and the
+# end-to-end Figure 11a replay under each -mmu pipeline, serial and
+# sharded — and snapshots the result as BENCH_mmu.json. flat vs
+# Figure11Replay/e64/indexed bounds the cost of the abstraction when
+# unconfigured. Regenerate after mmu or replay changes and commit the
+# diff.
+bench-mmu:
+	{ $(GO) test -run '^$$' -bench BenchmarkHierarchy -benchmem -count 3 ./internal/mmu/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkFigure11Hierarchy -benchmem -count 3 ./internal/sim/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_mmu.json

@@ -29,7 +29,7 @@ func TestGoldenOutput(t *testing.T) {
 	*csvFlag = false
 
 	var buf bytes.Buffer
-	for i, exp := range []string{"table1", "fig9", "fig10", "table2", "lines", "churn"} {
+	for i, exp := range []string{"table1", "fig9", "fig10", "table2", "lines", "churn", "hierarchy"} {
 		// Vary the worker count and shard count as we go: the golden file
 		// is also a determinism check, so neither cell scheduling nor
 		// intra-cell lane grants may leak into the bytes.

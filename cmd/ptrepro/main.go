@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	ptrepro [-exp all|<name>] [-refs N] [-seed S] [-workers N] [-shards K] [-csv] [-v]
+//	ptrepro [-exp all|<name>] [-refs N] [-seed S] [-workers N] [-shards K] [-mmu flat|l2|l2+pwc] [-csv] [-v]
 //	ptrepro -list
 package main
 
@@ -28,6 +28,7 @@ import (
 
 	"clusterpt/internal/engine"
 	"clusterpt/internal/report"
+	"clusterpt/internal/sim"
 )
 
 var (
@@ -37,12 +38,17 @@ var (
 	csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent experiment cells")
 	shardsFlag  = flag.Int("shards", 1, "intra-cell replay lanes (shares the -workers budget; results identical at any value)")
+	mmuFlag     = flag.String("mmu", "flat", "translation hierarchy around each simulated TLB: flat, l2, or l2+pwc")
 	verboseFlag = flag.Bool("v", false, "log per-experiment progress to stderr")
 	listFlag    = flag.Bool("list", false, "list registered experiments and exit")
 )
 
 func main() {
 	flag.Parse()
+	if _, err := sim.ParseMMU(*mmuFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "ptrepro: %v\n", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *listFlag {
@@ -56,11 +62,15 @@ func main() {
 }
 
 func newEngine() *engine.Engine {
+	// The flag is validated in main; the experiments honor the zero
+	// (flat) value by reproducing the pre-hierarchy output byte for byte.
+	mmu, _ := sim.ParseMMU(*mmuFlag)
 	return engine.New(engine.Options{
 		Refs:    *refsFlag,
 		Seed:    *seedFlag,
 		Workers: *workersFlag,
 		Shards:  *shardsFlag,
+		MMU:     mmu,
 		Verbose: *verboseFlag,
 	})
 }

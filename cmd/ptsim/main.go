@@ -12,6 +12,7 @@
 //	ptsim -w coral -table clustered -tlb single
 //	ptsim -w ML -table hashed -tlb subblock -refs 1000000 -entries 128
 //	ptsim -w gcc -table clustered -tlb psb -line 128 -buckets 1024 -workers 4
+//	ptsim -w gcc -table forward -tlb single -mmu l2+pwc
 package main
 
 import (
@@ -48,6 +49,7 @@ var (
 	seed      = flag.Uint64("seed", 1, "base trace seed")
 	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent process cells")
 	shards    = flag.Int("shards", 1, "intra-cell replay lanes (shares the -workers budget; results identical at any value)")
+	mmuSpec   = flag.String("mmu", "flat", "translation hierarchy around the simulated TLB: flat, l2, or l2+pwc")
 )
 
 func main() {
@@ -112,7 +114,7 @@ type procResult struct {
 // the service loop; the service order (and so every counter) is exactly
 // the serial stream order, lanes only overlap generation with replay.
 func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMode,
-	m memcost.Model, cellSeed uint64, workloadName string, lanes int) (procResult, error) {
+	m memcost.Model, mcfg sim.MMUConfig, cellSeed uint64, workloadName string, lanes int) (procResult, error) {
 
 	var res procResult
 	pt, err := newTable(m)
@@ -124,13 +126,19 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 	if err != nil {
 		return res, err
 	}
+	// The hierarchy wraps the bare TLB with whatever -mmu selected; the
+	// default flat pipeline delegates every call to it verbatim, so the
+	// default output is byte-identical to the pre-hierarchy simulator.
+	// Misses stay the L1 miss count (an L2 hit is still an L1 miss) so
+	// the avg-lines denominator is comparable across modes; the L2 probe
+	// lines accumulate in the hierarchy's probe meter and fold in below.
 	t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
+	h := mcfg.BuildHierarchy(t, build.Table, m)
 	service := func(va addr.V) error {
-		r := t.Access(va)
+		r := h.Access(va)
 		if r.Hit {
 			return nil
 		}
-		res.misses++
 		if kind == tlb.CompleteSubblock && !r.SubblockMiss {
 			br, ok := build.Table.(pagetable.BlockReader)
 			if !ok {
@@ -141,16 +149,18 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 			if !found {
 				return fmt.Errorf("lost block %#x", uint64(vpbn))
 			}
+			cost = h.FilterWalk(addr.VPNOf(va), cost)
 			res.lines += uint64(cost.Lines)
-			t.InsertBlock(vpbn, es)
+			h.InsertBlock(vpbn, es)
 			return nil
 		}
 		e, cost, found := build.Table.Lookup(va)
 		if !found {
 			return fmt.Errorf("lost %v", va)
 		}
+		cost = h.FilterWalk(addr.VPNOf(va), cost)
 		res.lines += uint64(cost.Lines)
-		t.Insert(e)
+		h.Insert(e)
 		return nil
 	}
 	if lanes > 1 {
@@ -165,6 +175,8 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 			}
 		}
 	}
+	res.misses = t.Stats().Misses
+	res.lines += uint64(h.ProbeCost().Lines)
 	res.accesses = uint64(n)
 	sz := build.Table.Size()
 	res.info = fmt.Sprintf("%s/%s: table=%s PTE bytes=%d nodes=%d mappings=%d",
@@ -234,6 +246,10 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	mcfg, err := sim.ParseMMU(*mmuSpec)
+	if err != nil {
+		return err
+	}
 	m := memcost.NewModel(*lineSize)
 
 	var cells []engine.ShardedCell[procResult]
@@ -246,12 +262,12 @@ func run(ctx context.Context) error {
 		cells = append(cells, engine.ShardedCell[procResult]{
 			Key: "ptsim/" + p.Name + "/" + snap.Name,
 			Run: func(ctx context.Context, cellSeed uint64, lanes int) (procResult, error) {
-				return simProcess(snap, n, kind, mode, m, cellSeed, p.Name, lanes)
+				return simProcess(snap, n, kind, mode, m, mcfg, cellSeed, p.Name, lanes)
 			},
 		})
 	}
 
-	eng := engine.New(engine.Options{Refs: *refs, Seed: *seed, Workers: *workers, Shards: *shards})
+	eng := engine.New(engine.Options{Refs: *refs, Seed: *seed, Workers: *workers, Shards: *shards, MMU: mcfg})
 	results, err := engine.FanShardedWith(ctx, eng, "ptsim", cells)
 	if err != nil {
 		return err
@@ -264,8 +280,14 @@ func run(ctx context.Context) error {
 		totMisses += r.misses
 		totAccesses += r.accesses
 	}
-	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d workers=%d shards=%d\n",
-		p.Name, *tableName, *tlbName, *entries, *lineSize, *workers, *shards)
+	// The mmu field is appended only for non-flat pipelines, so the
+	// default summary line stays byte-identical to earlier releases.
+	mmuNote := ""
+	if !mcfg.Flat() {
+		mmuNote = fmt.Sprintf(" mmu=%s", mcfg)
+	}
+	fmt.Printf("\nworkload=%s table=%s tlb=%s entries=%d line=%d workers=%d shards=%d%s\n",
+		p.Name, *tableName, *tlbName, *entries, *lineSize, *workers, *shards, mmuNote)
 	fmt.Printf("accesses=%d misses=%d miss-ratio=%.5f\n",
 		totAccesses, totMisses, float64(totMisses)/float64(totAccesses))
 	if totMisses > 0 {

@@ -137,6 +137,36 @@ func (s *Striped) ResetAll() {
 	}
 }
 
+// --- shared model wrapper (the mmu.Shared shape) ---
+
+// model mutates replacement state on reads as well as writes, so the
+// wrapper below annotates the pointer itself: even a probe that only
+// "reads" the model must hold the mutex.
+type model struct{ ticks int }
+
+func (m *model) probe() int { m.ticks++; return m.ticks }
+
+type SharedModel struct {
+	mu sync.Mutex
+	m  *model //ptlint:guardedby mu
+}
+
+func (s *SharedModel) Access() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.probe()
+}
+
+func (s *SharedModel) Shootdown() {
+	s.mu.Lock()
+	s.m = &model{}
+	s.mu.Unlock()
+}
+
+func (s *SharedModel) RacyProbe() int {
+	return s.m.probe() // want:guardedby accessed without holding s.mu
+}
+
 // --- annotation validation ---
 
 type Bad struct {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"clusterpt/internal/report"
+	"clusterpt/internal/sim"
 )
 
 // Experiment is one named entry of the evaluation registry.
@@ -174,6 +175,11 @@ type Options struct {
 	// budget rather than added to it. 0 or 1 runs every cell serially.
 	// Results are byte-identical at every value.
 	Shards int
+	// MMU selects the translation hierarchy (-mmu flag) the replay
+	// experiments model around each simulated TLB. The zero value is the
+	// paper's flat single level; every previously rendered byte is
+	// identical under it.
+	MMU sim.MMUConfig
 	// Verbose logs per-experiment progress lines to Log.
 	Verbose bool
 	// Log receives progress output (nil = os.Stderr).

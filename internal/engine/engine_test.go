@@ -33,7 +33,7 @@ func TestRegistryOrderAndNames(t *testing.T) {
 	want := []string{
 		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
 		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog",
-		"partition", "churn", "verify",
+		"partition", "churn", "hierarchy", "verify",
 		"concurrent-lookup", "concurrent-mixed",
 	}
 	got := Default().Names()
@@ -141,13 +141,15 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 // TestDeterministicAcrossShards pins the nested-parallelism guarantee:
 // the (-workers, -shards) grid renders byte-identical tables. The
 // experiments covered are the sharded-replay consumer (fig11a), the
-// partition what-if, and the churn time series; full "all" coverage at
-// shards>1 rides on TestDeterministicAcrossWorkers plus the sim-level
-// shard identity tests.
+// partition what-if, the churn time series, and the multi-level
+// hierarchy replay (whose stateful L2/PWC levels are the newest threat
+// to lane-independence); full "all" coverage at shards>1 rides on
+// TestDeterministicAcrossWorkers plus the sim-level shard identity
+// tests.
 func TestDeterministicAcrossShards(t *testing.T) {
 	run := func(workers, shards int) []byte {
 		var out []byte
-		for _, exp := range []string{"fig11a", "partition", "churn"} {
+		for _, exp := range []string{"fig11a", "partition", "churn", "hierarchy"} {
 			eng := New(Options{Refs: 10_000, Seed: 3, Workers: workers, Shards: shards, Log: io.Discard})
 			results, err := eng.Run(context.Background(), exp)
 			if err != nil {

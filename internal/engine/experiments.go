@@ -87,6 +87,11 @@ func init() {
 		Run:         runChurn,
 	})
 	mustRegister(Experiment{
+		Name:        "hierarchy",
+		Description: "composable MMU hierarchy: Fig 11a organizations under flat, L2, and L2+PWC pipelines",
+		Run:         runHierarchy,
+	})
+	mustRegister(Experiment{
 		Name:        "verify",
 		Description: "reproduction self-check: headline claims as executable assertions",
 		Run:         runVerify,
@@ -240,6 +245,7 @@ func runFig11(ctx context.Context, rc *RunContext, f sim.Figure) (*Result, error
 			Run: func(ctx context.Context, seed uint64, lanes int) (sim.AccessRow, error) {
 				row, err := sim.RunFigure11(f, p, sim.AccessConfig{
 					Refs: rc.Refs, Seed: seed, Shards: lanes, Buf: sim.ReplayBufFrom(ctx),
+					MMU: rc.MMU(),
 				})
 				if err == nil {
 					rc.CountRefs(row.RefAccesses)

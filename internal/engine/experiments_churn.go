@@ -48,7 +48,7 @@ func runChurn(ctx context.Context, rc *RunContext) (*Result, error) {
 					refs = 1
 				}
 				rc.CountRefs(uint64(refs) * 4)
-				cfg := sim.ChurnConfig{Refs: refs, Seed: seed, Check: true}
+				cfg := sim.ChurnConfig{Refs: refs, Seed: seed, Check: true, MMU: rc.MMU()}
 				return sim.RunChurnCell(mustProfile(pair.workload), cp, cfg, lanes)
 			},
 		}

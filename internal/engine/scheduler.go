@@ -48,6 +48,10 @@ func (rc *RunContext) Shards() int {
 	return 1
 }
 
+// MMU returns the translation-hierarchy configuration experiments pass
+// into their replay configs (the -mmu flag; zero value = flat).
+func (rc *RunContext) MMU() sim.MMUConfig { return rc.eng.opts.MMU }
+
 // CountRefs lets a cell report how many trace references it simulated;
 // the total feeds the refs/sec instrumentation. Safe for concurrent use.
 func (rc *RunContext) CountRefs(n uint64) { rc.refs.Add(n) }

@@ -168,6 +168,20 @@ func (t *Table) Name() string { return fmt.Sprintf("forward-%dlevel", len(t.cfg.
 // NumLevels returns the tree depth.
 func (t *Table) NumLevels() int { return len(t.cfg.LevelBits) }
 
+// LeafSpan returns log2 of the base pages one leaf node covers (the
+// last level's index width) — the natural span of a page-walk-cache
+// entry over this tree.
+func (t *Table) LeafSpan() uint { return t.cfg.LevelBits[len(t.cfg.LevelBits)-1] }
+
+// UpperWalkCost implements pagetable.UpperWalker: the intermediate
+// levels of the top-down walk — everything above the leaf access, one
+// line and one node per level — which is what a page-walk cache elides
+// on a hit. A constant of the tree shape.
+func (t *Table) UpperWalkCost(addr.VPN) pagetable.WalkCost {
+	n := len(t.cfg.LevelBits) - 1
+	return pagetable.WalkCost{Lines: n, Nodes: n, Probes: 1}
+}
+
 func (t *Table) slot(vpn addr.VPN, level int) uint64 {
 	return uint64(vpn) >> t.shift[level] & t.mask[level]
 }
@@ -426,6 +440,7 @@ var (
 	_ pagetable.SuperpageMapper = (*Table)(nil)
 	_ pagetable.PartialMapper   = (*Table)(nil)
 	_ pagetable.BlockReader     = (*Table)(nil)
+	_ pagetable.UpperWalker     = (*Table)(nil)
 	_ pagetable.MemReporter     = (*Table)(nil)
 	_ pagetable.Resetter        = (*Table)(nil)
 )

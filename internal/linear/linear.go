@@ -30,6 +30,11 @@ const (
 	entriesPerPage = addr.BasePageSize / pte.WordBytes
 	levelBits      = 9
 	pageBytes      = addr.BasePageSize
+
+	// LeafSpanBits is log2 of the base pages one page-table page maps
+	// (LeafPageIndex's shift) — the natural span of a page-walk-cache
+	// entry over the table's upper walk.
+	LeafSpanBits = levelBits
 )
 
 // UpperLookup selects how the mappings to the page-table pages themselves
@@ -400,6 +405,7 @@ var (
 	_ pagetable.SuperpageMapper = (*Table)(nil)
 	_ pagetable.PartialMapper   = (*Table)(nil)
 	_ pagetable.BlockReader     = (*Table)(nil)
+	_ pagetable.UpperWalker     = (*Table)(nil)
 	_ pagetable.MemReporter     = (*Table)(nil)
 	_ pagetable.Resetter        = (*Table)(nil)
 )

@@ -1,0 +1,89 @@
+package mmu_test
+
+// Hierarchy hot-path benchmarks, snapshotted by `make bench-mmu` into
+// BENCH_mmu.json: the L1-hit probe (the cost every reference pays, which
+// must stay within noise of a bare TLB access) and the full miss path
+// through L1+L2+PWC (probe, walk filter, fill at every level).
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/mmu"
+	"clusterpt/internal/mmu/walkcache"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/swtlb"
+	"clusterpt/internal/tlb"
+)
+
+// benchUpper mirrors the forward-mapped tree's constant upper walk.
+type benchUpper struct{}
+
+func (benchUpper) UpperWalkCost(addr.VPN) pagetable.WalkCost {
+	return pagetable.WalkCost{Lines: 3, Nodes: 3, Probes: 1}
+}
+
+func benchHierarchy(b *testing.B, withLower bool) *mmu.Hierarchy {
+	b.Helper()
+	l1 := tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64})
+	h := mmu.NewHierarchy(l1)
+	if withLower {
+		l2, err := swtlb.NewLevel(swtlb.Config{Entries: 1024, Ways: 4, CostModel: memcost.NewModel(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := pagetable.WalkCost{Lines: 1, Probes: 1}
+		h.AddLevel(mmu.LevelSpec{Level: l2.AsLevel(), HitCost: probe, MissCost: probe})
+		h.SetFilter(walkcache.MustNew(walkcache.Config{Entries: 16}, benchUpper{}))
+	}
+	return h
+}
+
+// BenchmarkHierarchyL1Hit measures the flat hierarchy's hit path — one
+// wrapped TLB access, the overhead every existing experiment inherits
+// from the refactor.
+func BenchmarkHierarchyL1Hit(b *testing.B) {
+	h := benchHierarchy(b, false)
+	for vpn := addr.VPN(0); vpn < 32; vpn++ {
+		h.Insert(mmu.BaseEntry(vpn))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addr.VAOf(addr.VPN(i & 31)))
+	}
+}
+
+// BenchmarkHierarchyL1HitDeep is the same resident working set behind
+// the full L1+L2+PWC chain: hits still resolve at the L1, so the delta
+// against BenchmarkHierarchyL1Hit is the multi-level dispatch overhead.
+func BenchmarkHierarchyL1HitDeep(b *testing.B) {
+	h := benchHierarchy(b, true)
+	for vpn := addr.VPN(0); vpn < 32; vpn++ {
+		h.Insert(mmu.BaseEntry(vpn))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addr.VAOf(addr.VPN(i & 31)))
+	}
+}
+
+// BenchmarkHierarchyMissPath measures the full L1+L2+PWC miss path: a
+// working set far beyond every level forces each access through the L1
+// probe, the L2 probe, the walk-cache filter, and fills on the way back.
+func BenchmarkHierarchyMissPath(b *testing.B) {
+	h := benchHierarchy(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride past the 1024-entry L2 and the 16-entry x 256-page PWC.
+		vpn := addr.VPN((i * 4097) & (1<<22 - 1))
+		va := addr.VAOf(vpn)
+		if !h.Access(va).Hit {
+			h.FilterWalk(vpn, pagetable.WalkCost{Lines: 4, Nodes: 4, Probes: 1})
+			h.Insert(mmu.BaseEntry(vpn))
+		}
+	}
+}

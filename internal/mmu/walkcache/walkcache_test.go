@@ -1,0 +1,139 @@
+package walkcache
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/mmu"
+	"clusterpt/internal/pagetable"
+)
+
+// fixedUpper is an UpperWalker with a constant upper-walk cost, the
+// shape every real organization exports.
+type fixedUpper struct{ lines, nodes int }
+
+func (f fixedUpper) UpperWalkCost(addr.VPN) pagetable.WalkCost {
+	return pagetable.WalkCost{Lines: f.lines, Nodes: f.nodes, Probes: 1}
+}
+
+// TestPWCSpanSharing checks the cache's raison d'être: pages sharing an
+// upper-walk node share one entry, so after one miss every page in the
+// span hits.
+func TestPWCSpanSharing(t *testing.T) {
+	p := MustNew(Config{Entries: 4, LogSpan: 8}, fixedUpper{lines: 3, nodes: 3})
+	if p.Probe(0) {
+		t.Fatal("cold probe hit")
+	}
+	for _, vpn := range []addr.VPN{1, 100, 255} {
+		if !p.Probe(vpn) {
+			t.Fatalf("vpn %d in the cached span missed", vpn)
+		}
+	}
+	if p.Probe(256) {
+		t.Fatal("vpn 256 crosses the span boundary but hit")
+	}
+	s := p.Stats()
+	if s.Accesses != 5 || s.Hits != 3 || s.Misses != 2 {
+		t.Fatalf("stats %+v, want 5 accesses / 3 hits / 2 misses", s)
+	}
+}
+
+// TestPWCDeterministicVictims pins the replacement order: invalid slots
+// fill in index order, then the oldest LRU tick is evicted, and a hit
+// refreshes its entry's tick.
+func TestPWCDeterministicVictims(t *testing.T) {
+	p := MustNew(Config{Entries: 2, LogSpan: 8}, fixedUpper{lines: 3, nodes: 3})
+	span := func(i int) addr.VPN { return addr.VPN(i << 8) }
+	p.Probe(span(0)) // slot 0
+	p.Probe(span(1)) // slot 1
+	p.Probe(span(0)) // refresh span 0: span 1 is now LRU
+	if p.Probe(span(2)) {
+		t.Fatal("span 2 hit before insertion")
+	}
+	if !p.Probe(span(0)) {
+		t.Fatal("span 0 was evicted despite being MRU")
+	}
+	if p.Probe(span(1)) {
+		t.Fatal("span 1 survived; LRU victim selection broke")
+	}
+	if r := p.Stats().Replacements; r != 2 {
+		t.Fatalf("replacements %d, want 2 (spans 2 and 1 re-filled over valid slots)", r)
+	}
+}
+
+// TestElideLines covers the arithmetic the sharded lanes inline: upper
+// levels drop out, the leaf line survives, early-terminated walks clamp
+// at one.
+func TestElideLines(t *testing.T) {
+	for _, tc := range []struct{ lines, upper, want int }{
+		{4, 3, 1},
+		{6, 3, 3},
+		{2, 3, 1}, // superpage hit above the leaf: clamp
+		{1, 0, 1},
+	} {
+		if got := ElideLines(tc.lines, tc.upper); got != tc.want {
+			t.Errorf("ElideLines(%d, %d) = %d, want %d", tc.lines, tc.upper, got, tc.want)
+		}
+	}
+}
+
+// TestFilterWalk checks the mmu.WalkFilter surface end to end: a miss
+// passes the cost through untouched (and fills), a hit elides the
+// upper-walk lines and nodes.
+func TestFilterWalk(t *testing.T) {
+	p := MustNew(Config{Entries: 4, LogSpan: 8}, fixedUpper{lines: 3, nodes: 3})
+	full := pagetable.WalkCost{Lines: 4, Nodes: 4, Probes: 1}
+	if got := p.FilterWalk(7, full); got != full {
+		t.Fatalf("cold FilterWalk altered the cost: %+v", got)
+	}
+	want := pagetable.WalkCost{Lines: 1, Nodes: 1, Probes: 1}
+	if got := p.FilterWalk(8, full); got != want {
+		t.Fatalf("warm FilterWalk = %+v, want %+v", got, want)
+	}
+	if p.UpperLines() != 3 {
+		t.Fatalf("UpperLines = %d, want 3", p.UpperLines())
+	}
+}
+
+// TestInvalidateAndFlush checks shootdown: Invalidate drops exactly the
+// covering span, Flush drops everything, and neither disturbs stats.
+func TestInvalidateAndFlush(t *testing.T) {
+	p := MustNew(Config{Entries: 4, LogSpan: 8}, fixedUpper{lines: 3, nodes: 3})
+	p.Probe(0)
+	p.Probe(256)
+	p.Invalidate(5) // same span as vpn 0
+	if p.Probe(0) {
+		t.Fatal("invalidated span still hits")
+	}
+	if !p.Probe(256) {
+		t.Fatal("unrelated span was invalidated")
+	}
+	p.Flush()
+	if p.Probe(256) {
+		t.Fatal("flushed span still hits")
+	}
+	p.ResetStats()
+	if p.Stats() != (mmu.Stats{}) {
+		t.Fatal("ResetStats left counters")
+	}
+}
+
+// TestConfigValidation covers the error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("nil upper walker accepted")
+	}
+	if _, err := New(Config{Entries: 1 << 13}, fixedUpper{}); err == nil {
+		t.Fatal("oversized entry count accepted")
+	}
+	if _, err := New(Config{LogSpan: 64}, fixedUpper{}); err == nil {
+		t.Fatal("oversized LogSpan accepted")
+	}
+	p := MustNew(Config{}, fixedUpper{lines: 5, nodes: 5})
+	if p.cfg.Entries != 16 || p.cfg.LogSpan != 8 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+	if p.Name() != "pwc" {
+		t.Fatalf("name %q", p.Name())
+	}
+}

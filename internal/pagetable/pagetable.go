@@ -129,6 +129,19 @@ type PartialMapper interface {
 	MapPartial(vpbn addr.VPBN, basePPN addr.PPN, attr pte.Attr, valid uint16) error
 }
 
+// UpperWalker is implemented by organizations whose walk descends fixed
+// upper levels before the leaf access — the structure a page-walk cache
+// can memoize (§4.2's tree walks; hashed tables have no upper levels
+// and never implement it). The cost covers only the upper levels: what
+// a walk-cache hit elides, leaving the leaf access behind.
+type UpperWalker interface {
+	// UpperWalkCost returns the cost of the upper-level portion of a
+	// walk to vpn. It is a constant of the table's configuration for
+	// every table in this repository, which is what lets sharded replay
+	// lanes apply it as pure arithmetic.
+	UpperWalkCost(vpn addr.VPN) WalkCost
+}
+
 // BlockReader is implemented by organizations that can gather all base
 // mappings of one page block, used by complete-subblock TLB prefetch
 // (§4.4). The cost reflects how the organization stores neighboring PTEs:

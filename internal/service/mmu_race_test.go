@@ -1,0 +1,117 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/mmu"
+	"clusterpt/internal/mmu/walkcache"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/swtlb"
+	"clusterpt/internal/tlb"
+)
+
+// The MMU-attachment races: a modeled translation hierarchy (L1 TLB +
+// L2 TLB + page-walk cache behind one mmu.Shared mutex) rides along on
+// the same storm race_test.go throws at the bare service. The model
+// mutates replacement state on every probe, so these tests are the race
+// detector's view of the AttachMMU contract: Lookup drives Translate
+// from both the lock-free hit path and the striped fill path, writers
+// forward invalidations, and Reset shoots the whole hierarchy down.
+
+// newModelMMU builds the full three-level model over table: a 64-entry
+// L1, a 256-entry 4-way L2, and a 16-entry page-walk cache when the
+// organization exposes upper walk levels.
+func newModelMMU(table pagetable.PageTable) *mmu.Shared {
+	h := mmu.NewHierarchy(tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: 64}))
+	l2 := swtlb.MustNewLevel(swtlb.Config{Entries: 256, Ways: 4, CostModel: memcost.NewModel(0)})
+	probe := pagetable.WalkCost{Lines: 1, Probes: 1}
+	h.AddLevel(mmu.LevelSpec{Level: l2.AsLevel(), HitCost: probe, MissCost: probe})
+	if uw, ok := table.(pagetable.UpperWalker); ok {
+		h.SetFilter(walkcache.MustNew(walkcache.Config{Entries: 16}, uw))
+	}
+	return mmu.NewShared(h)
+}
+
+// TestRaceMMUStress runs the mixed-traffic storm with the hierarchy
+// model attached for its whole duration, then audits the model's
+// counters for tearing: the composed counts must still add up, and the
+// storm must have driven both the translate and the shootdown paths.
+func TestRaceMMUStress(t *testing.T) {
+	s := MustWrap(forward.MustNew(forward.Config{}), Config{Stripes: 16, CacheSlots: 128})
+	h := newModelMMU(s.Table())
+	s.AttachMMU(h)
+	if s.MMU() != h {
+		t.Fatal("MMU() did not return the attached model")
+	}
+	stressService(t, s)
+
+	st := h.Stats()
+	if st.Accesses == 0 {
+		t.Fatal("storm never drove the attached hierarchy")
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Errorf("torn hierarchy counters: hits %d + misses %d != accesses %d",
+			st.Hits, st.Misses, st.Accesses)
+	}
+	if got := len(h.LevelStats()); got != 2 {
+		t.Errorf("LevelStats levels = %d, want 2", got)
+	}
+
+	// Reset shoots the model down; afterwards the next lookup must be a
+	// full hierarchy miss (nothing survived the shootdown).
+	s.Reset()
+	if err := s.Map(0x40, 0x80, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Stats()
+	if _, ok := s.Lookup(addr.VAOf(0x40)); !ok {
+		t.Fatal("lost mapping after reset")
+	}
+	after := h.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Errorf("post-shootdown lookup: misses %d -> %d, want a full miss",
+			before.Misses, after.Misses)
+	}
+}
+
+// TestRaceMMUAttachDetach toggles the attachment while the storm runs:
+// AttachMMU is atomic, so traffic must stay well-formed whether a given
+// operation observes the model or nil.
+func TestRaceMMUAttachDetach(t *testing.T) {
+	s := MustWrap(forward.MustNew(forward.Config{}), Config{Stripes: 16, CacheSlots: 128})
+	h := newModelMMU(s.Table())
+
+	stop := make(chan struct{})
+	var togglers sync.WaitGroup
+	togglers.Add(1)
+	go func() {
+		defer togglers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				s.AttachMMU(h)
+			} else {
+				s.AttachMMU(nil)
+			}
+			runtime.Gosched()
+		}
+	}()
+	stressService(t, s)
+	close(stop)
+	togglers.Wait()
+
+	s.AttachMMU(h)
+	st := h.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Errorf("torn hierarchy counters after toggling: %+v", st)
+	}
+}

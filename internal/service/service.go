@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"clusterpt/internal/addr"
+	"clusterpt/internal/mmu"
 	"clusterpt/internal/pagetable"
 	"clusterpt/internal/pte"
 )
@@ -153,6 +154,11 @@ type Service struct {
 	table   pagetable.PageTable //ptlint:guardedby stripes[*].mu
 	stripes []stripe
 	cache   []atomic.Pointer[cached]
+	// mmuh, when attached, is the modeled hardware translation hierarchy
+	// in front of the service: every resolved lookup drives it and every
+	// write-path invalidation shoots it down. Atomic so AttachMMU is safe
+	// against in-flight traffic; nil costs one atomic load per operation.
+	mmuh atomic.Pointer[mmu.Shared]
 
 	hits, fills, faults           atomic.Uint64
 	maps, mapConflicts            atomic.Uint64
@@ -196,6 +202,19 @@ func (s *Service) Name() string { return s.table.Name() }
 //ptlint:allow guardedby write-once pointer escape hatch; the doc contract forbids concurrent mutation
 func (s *Service) Table() pagetable.PageTable { return s.table }
 
+// AttachMMU attaches a modeled hardware translation hierarchy. Once
+// attached, Lookup feeds every resolved translation through
+// h.Translate (probe, walk-filter and fill under Shared's own mutex),
+// Map/MapRange/Unmap/Protect forward each page invalidation as an
+// h.Invalidate shootdown, and Reset issues a whole-hierarchy
+// h.Shootdown — so h.Stats()/h.LevelStats() report what the composed
+// TLB stack would have done over the service's concurrent traffic.
+// Attach before or during traffic; detach by attaching nil.
+func (s *Service) AttachMMU(h *mmu.Shared) { s.mmuh.Store(h) }
+
+// MMU returns the attached hierarchy model, or nil.
+func (s *Service) MMU() *mmu.Shared { return s.mmuh.Load() }
+
 // stripeFor returns the lock covering vpn's page block. All pages of one
 // block — and therefore one clustered hash node — share a stripe.
 func (s *Service) stripeFor(vpn addr.VPN) *sync.RWMutex {
@@ -219,13 +238,27 @@ func (s *Service) Lookup(va addr.V) (pte.Entry, bool) {
 	slot := s.slotFor(vpn)
 	if c := slot.Load(); c != nil && c.vpn == vpn {
 		s.hits.Add(1)
+		// A cache hit resolved without touching table memory, so the
+		// modeled hierarchy is driven with a zero walk cost; a racing
+		// invalidation may land after the slot load, the same staleness
+		// window a real TLB has between a fill and its shootdown.
+		if h := s.mmuh.Load(); h != nil {
+			h.Translate(va, c.e, pagetable.WalkCost{})
+		}
 		return c.e, true
 	}
 	mu := s.stripeFor(vpn)
 	mu.RLock()
-	e, _, ok := s.table.Lookup(va)
+	e, cost, ok := s.table.Lookup(va)
 	if ok {
 		slot.Store(&cached{vpn: vpn, e: e})
+		// The hierarchy fill stays inside the read-side critical section
+		// for the same reason the slot store does: a writer on this
+		// stripe cannot order its shootdown between the walk and the
+		// model fill, so the model never caches a dead translation.
+		if h := s.mmuh.Load(); h != nil {
+			h.Translate(va, e, cost)
+		}
 	}
 	mu.RUnlock()
 	if ok {
@@ -328,14 +361,18 @@ func (s *Service) Protect(r addr.Range, set, clear pte.Attr) error {
 	return firstErr
 }
 
-// invalidate kills the cache slot that may hold vpn. The caller holds
-// vpn's stripe exclusively. The slot may cache a different VPN that
-// merely shares the slot — clearing it costs a future refill, never
+// invalidate kills the cache slot that may hold vpn and forwards the
+// shootdown to the attached hierarchy model. The caller holds vpn's
+// stripe exclusively. The slot may cache a different VPN that merely
+// shares the slot — clearing it costs a future refill, never
 // correctness.
 func (s *Service) invalidate(vpn addr.VPN) {
 	slot := s.slotFor(vpn)
 	if c := slot.Load(); c != nil && c.vpn == vpn {
 		slot.Store(nil)
+	}
+	if h := s.mmuh.Load(); h != nil {
+		h.Invalidate(vpn)
 	}
 }
 
@@ -365,6 +402,9 @@ func (s *Service) Reset() {
 	}
 	for i := range s.cache {
 		s.cache[i].Store(nil)
+	}
+	if h := s.mmuh.Load(); h != nil {
+		h.Shootdown()
 	}
 	s.hits.Store(0)
 	s.fills.Store(0)

@@ -6,8 +6,10 @@ import (
 	"clusterpt/internal/addr"
 	"clusterpt/internal/linear"
 	"clusterpt/internal/memcost"
+	"clusterpt/internal/mmu/walkcache"
 	"clusterpt/internal/pagetable"
 	"clusterpt/internal/pte"
+	"clusterpt/internal/swtlb"
 	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
 )
@@ -86,6 +88,11 @@ type AccessConfig struct {
 	// (tlb.Config.Scan) — results are identical, only speed differs. It
 	// exists for the before/after replay benchmarks.
 	ScanTLB bool
+	// MMU selects the translation hierarchy modelled around each TLB
+	// (L2 TLB, page-walk cache). The zero value is the paper's flat
+	// single-level hierarchy and reproduces the pre-hierarchy
+	// simulator byte for byte.
+	MMU MMUConfig
 }
 
 func (c *AccessConfig) fill() {
@@ -163,12 +170,24 @@ type figureState struct {
 	canonical pagetable.PageTable
 	refTLB    *tlb.TLB
 	lins      []*linState
+
+	// Multi-level hierarchy state (nil / -1 under the default flat
+	// MMUConfig). l2 is the unified L2 TLB shared by the
+	// non-reserved-TLB variants — hit/miss outcomes are
+	// variant-independent, so one level models all of them — and
+	// pwcs[pwcIdx] is the page-walk cache of the single tree-walked
+	// variant. Both evolve only on the driver's stream-ordered miss
+	// path, which is what keeps sharded replay deterministic.
+	l2       *swtlb.Cache
+	pwcs     []*walkcache.PWC
+	pwcIdx   int
+	pwcUpper int
 }
 
 // newFigureState builds the figure's page tables and TLBs for one
 // process snapshot.
 func newFigureState(f Figure, snap trace.ProcessSnapshot, cfg AccessConfig) (*figureState, error) {
-	st := &figureState{variants: f.Variants()}
+	st := &figureState{variants: f.Variants(), pwcIdx: -1}
 	mode := f.Mode()
 
 	// builds is index-aligned with variants; the replay loop never keys
@@ -188,8 +207,43 @@ func newFigureState(f Figure, snap trace.ProcessSnapshot, cfg AccessConfig) (*fi
 	kind := f.TLBKind()
 	st.refTLB = tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries, Scan: cfg.ScanTLB})
 
+	st.l2 = cfg.MMU.newL2(cfg.LineModel)
+	if cfg.MMU.PWC {
+		st.pwcs = make([]*walkcache.PWC, len(st.variants))
+		for i, v := range st.variants {
+			if v.ReservedTLB > 0 {
+				continue
+			}
+			uw, ok := st.builds[i].Table.(pagetable.UpperWalker)
+			if !ok {
+				continue
+			}
+			if st.pwcIdx >= 0 {
+				// The sharded miss records carry exactly one walk-cache
+				// hit bit, so one tree-walked variant per figure.
+				return nil, fmt.Errorf("sim: multiple walk-cached variants (%q, %q)",
+					st.variants[st.pwcIdx].Name, v.Name)
+			}
+			st.pwcs[i] = cfg.MMU.newPWC(uw)
+			st.pwcIdx = i
+			st.pwcUpper = uw.UpperWalkCost(0).Lines
+		}
+		if st.pwcIdx >= 0 {
+			// Per-class elision relies on the walk-cached variant owning
+			// its accounting class alone.
+			for i, v := range st.variants {
+				if i != st.pwcIdx && v.Class == st.variants[st.pwcIdx].Class {
+					return nil, fmt.Errorf("sim: walk-cached class %v shared by %q", v.Class, v.Name)
+				}
+			}
+		}
+	}
+
 	// Linear page tables run their own, smaller TLB plus the reserved
-	// page-table-mapping entries (§6.1).
+	// page-table-mapping entries (§6.1). Under a multi-level MMU each
+	// carries its own L2 slice and nested-walk cache: its L1 stream
+	// differs from the reference TLB's, so sharing the driver's levels
+	// would entangle the lanes.
 	for i, v := range st.variants {
 		if v.ReservedTLB == 0 {
 			continue
@@ -198,12 +252,17 @@ func newFigureState(f Figure, snap trace.ProcessSnapshot, cfg AccessConfig) (*fi
 		if !ok {
 			return nil, fmt.Errorf("reserved-TLB variant %q is not linear", v.Name)
 		}
-		st.lins = append(st.lins, &linState{
+		ls := &linState{
 			main:  tlb.MustNew(tlb.Config{Kind: kind, Entries: cfg.Entries - v.ReservedTLB, Scan: cfg.ScanTLB}),
 			pt:    tlb.MustNew(tlb.Config{Kind: tlb.SinglePageSize, Entries: v.ReservedTLB, Scan: cfg.ScanTLB}),
 			table: lt,
 			class: v.Class,
-		})
+			l2:    cfg.MMU.newL2(cfg.LineModel),
+		}
+		if cfg.MMU.PWC {
+			ls.pwc = cfg.MMU.newPWC(lt)
+		}
+		st.lins = append(st.lins, ls)
 	}
 	return st, nil
 }
@@ -228,7 +287,7 @@ func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig
 		res := st.refTLB.Access(va)
 		if !res.Hit {
 			misses++
-			if err := serviceMiss(f, va, res, st.refTLB, st.canonical, st.builds, st.variants, &lines); err != nil {
+			if err := serviceMiss(f, va, res, st, &lines); err != nil {
 				return err
 			}
 		}
@@ -247,21 +306,40 @@ func runProcess(f Figure, snap trace.ProcessSnapshot, refs int, cfg AccessConfig
 	return lines, misses, uint64(refs), nested, nil
 }
 
-// serviceMiss walks every non-linear page table for the faulting address
-// and refills the reference TLB from the canonical (clustered) build.
-func serviceMiss(f Figure, va addr.V, res tlb.Result, refTLB *tlb.TLB,
-	canonical pagetable.PageTable, builds []*Build,
-	variants []TableVariant, lines *lineCounts) error {
-
+// serviceMiss services one reference-TLB miss: under a multi-level MMU
+// it probes the L2 first (an L2 hit refills the L1 with the base page
+// and skips every walk); on a full miss it walks every non-linear page
+// table for the faulting address — eliding the tree-walked variant's
+// upper levels on a page-walk-cache hit — and refills the reference
+// TLB (and the L2) from the canonical (clustered) build.
+func serviceMiss(f Figure, va addr.V, res tlb.Result, st *figureState, lines *lineCounts) error {
 	vpn := addr.VPNOf(va)
+	if st.l2 != nil {
+		// The probe itself costs one line per modelled hierarchy,
+		// charged to every non-linear variant hit or miss.
+		for _, v := range st.variants {
+			if v.ReservedTLB == 0 {
+				lines[v.Class] += l2ProbeLines
+			}
+		}
+		if st.l2.Access(va).Hit {
+			st.refTLB.Insert(baseRefill(vpn))
+			return nil
+		}
+	}
+	pwcHit := false
+	if st.pwcIdx >= 0 {
+		pwcHit = st.pwcs[st.pwcIdx].Probe(vpn)
+	}
+
 	if f == Fig11d && !res.SubblockMiss {
 		// Block miss with prefetch: gather the whole block (§4.4).
 		vpbn, _ := addr.BlockSplit(vpn, 4)
-		for i, v := range variants {
+		for i, v := range st.variants {
 			if v.ReservedTLB > 0 {
 				continue
 			}
-			br, ok := builds[i].Table.(pagetable.BlockReader)
+			br, ok := st.builds[i].Table.(pagetable.BlockReader)
 			if !ok {
 				return fmt.Errorf("variant %q cannot prefetch blocks", v.Name)
 			}
@@ -269,42 +347,63 @@ func serviceMiss(f Figure, va addr.V, res tlb.Result, refTLB *tlb.TLB,
 			if !found {
 				return fmt.Errorf("variant %q lost block %#x", v.Name, uint64(vpbn))
 			}
-			lines[v.Class] += uint64(cost.Lines)
+			l := cost.Lines
+			if pwcHit && i == st.pwcIdx {
+				l = walkcache.ElideLines(l, st.pwcUpper)
+			}
+			lines[v.Class] += uint64(l)
 		}
-		entries, _, found := canonical.(pagetable.BlockReader).LookupBlock(vpbn, 4)
+		entries, _, found := st.canonical.(pagetable.BlockReader).LookupBlock(vpbn, 4)
 		if !found {
 			return fmt.Errorf("canonical table lost block %#x", uint64(vpbn))
 		}
-		refTLB.InsertBlock(vpbn, entries)
+		st.refTLB.InsertBlock(vpbn, entries)
+		if st.l2 != nil {
+			for _, e := range entries {
+				st.l2.Insert(e)
+			}
+		}
 		return nil
 	}
 
-	for i, v := range variants {
+	for i, v := range st.variants {
 		if v.ReservedTLB > 0 {
 			continue
 		}
-		_, cost, ok := builds[i].Table.Lookup(va)
+		_, cost, ok := st.builds[i].Table.Lookup(va)
 		if !ok {
 			return fmt.Errorf("variant %q lost vpn %#x", v.Name, uint64(vpn))
 		}
-		lines[v.Class] += uint64(cost.Lines)
+		l := cost.Lines
+		if pwcHit && i == st.pwcIdx {
+			l = walkcache.ElideLines(l, st.pwcUpper)
+		}
+		lines[v.Class] += uint64(l)
 	}
-	e, _, ok := canonical.Lookup(va)
+	e, _, ok := st.canonical.Lookup(va)
 	if !ok {
 		return fmt.Errorf("canonical table lost vpn %#x", uint64(vpn))
 	}
-	refTLB.Insert(e)
+	st.refTLB.Insert(e)
+	if st.l2 != nil {
+		st.l2.Insert(e)
+	}
 	return nil
 }
 
 // linState is the linear page table's private TLB pair (§6.1): a main
 // TLB shrunk by the reserved entries plus a small TLB caching mappings to
-// the page-table pages themselves.
+// the page-table pages themselves. Under a multi-level MMU it also owns
+// a private L2 TLB and nested-walk cache: its main-TLB miss stream
+// differs from the reference TLB's, so the driver's levels cannot be
+// shared.
 type linState struct {
 	main  *tlb.TLB
 	pt    *tlb.TLB
 	table *linear.Table
 	class LineClass
+	l2    *swtlb.Cache
+	pwc   *walkcache.PWC
 }
 
 // serviceLinear advances the linear variant's TLBs for one reference. A
@@ -319,6 +418,16 @@ func serviceLinear(f Figure, va addr.V, ls *linState, lines *lineCounts) (uint64
 	}
 	vpn := addr.VPNOf(va)
 
+	if ls.l2 != nil {
+		lines[ls.class] += l2ProbeLines
+		if ls.l2.Access(va).Hit {
+			// An L2 hit hands the base translation straight up: no PTE
+			// array read, no nested page-table-page translation.
+			ls.main.Insert(baseRefill(vpn))
+			return 0, nil
+		}
+	}
+
 	if f == Fig11d && !res.SubblockMiss {
 		// Block miss with prefetch: the block's PTEs are adjacent in the
 		// PTE array.
@@ -329,6 +438,11 @@ func serviceLinear(f Figure, va addr.V, ls *linState, lines *lineCounts) (uint64
 		}
 		lines[ls.class] += uint64(cost.Lines)
 		ls.main.InsertBlock(vpbn, entries)
+		if ls.l2 != nil {
+			for _, e := range entries {
+				ls.l2.Insert(e)
+			}
+		}
 	} else {
 		e, cost, ok := ls.table.Lookup(va)
 		if !ok {
@@ -336,14 +450,22 @@ func serviceLinear(f Figure, va addr.V, ls *linState, lines *lineCounts) (uint64
 		}
 		lines[ls.class] += uint64(cost.Lines)
 		ls.main.Insert(e)
+		if ls.l2 != nil {
+			ls.l2.Insert(e)
+		}
 	}
 
 	// The leaf PTE lives in virtual memory: translating its page can
 	// nest-miss in the reserved entries.
 	leafVA := addr.VAOf(addr.VPN(linear.LeafPageIndex(vpn)))
 	if !ls.pt.Access(leafVA).Hit {
-		walk := ls.table.UpperWalkCost(vpn)
-		lines[ls.class] += uint64(walk.Lines)
+		w := uint64(ls.table.UpperWalkCost(vpn).Lines)
+		if ls.pwc != nil && ls.pwc.Probe(vpn) {
+			// A walk-cache hit skips the upper directories: only the
+			// final directory line is read (ElideLines(upper, upper)).
+			w = 1
+		}
+		lines[ls.class] += w
 		ls.pt.Insert(pteForLeaf(vpn))
 		return 1, nil
 	}

@@ -49,6 +49,12 @@ type ChurnConfig struct {
 	// Check runs the differential oracle sweep every epoch, failing the
 	// replay on the first divergence from the reference model.
 	Check bool
+	// MMU selects the translation hierarchy the burst loop runs through.
+	// The zero value is the flat single TLB and reproduces the
+	// pre-hierarchy series byte for byte; with lower levels configured,
+	// the epoch-boundary shootdown flushes every level and the walk
+	// cache, and Misses counts only full misses that reached the table.
+	MMU MMUConfig
 }
 
 // ChurnPoint is one epoch's time-series sample for one organization.
@@ -307,9 +313,12 @@ func RunChurn(p trace.Profile, cp trace.ChurnProfile, v TableVariant, cfg ChurnC
 	}
 	// One superpage-kind TLB per replay: base pages take one slot each,
 	// a superpage entry covers its whole block, so TLB reach tracks the
-	// organization's surviving compact-PTE coverage. The TLB is flushed
-	// at every epoch boundary — the mutation batch's shootdown.
+	// organization's surviving compact-PTE coverage. The hierarchy wraps
+	// it with the configured lower levels (flat by default, delegating
+	// every call to the bare TLB); its Flush at every epoch boundary is
+	// the mutation batch's shootdown, now a per-level invalidate.
 	tb := tlb.MustNew(tlb.Config{Kind: tlb.Superpage, Entries: cfg.Entries})
+	h := cfg.MMU.BuildHierarchy(tb, m.pt, memcost.NewModel(0))
 	burst := trace.NewChurnBurst(stream.Layout(), cfg.Seed)
 
 	refsPerEpoch := cfg.Refs / cp.Epochs
@@ -331,17 +340,18 @@ func RunChurn(p trace.Profile, cp trace.ChurnProfile, v TableVariant, cfg ChurnC
 			return ChurnSeries{}, fmt.Errorf("epoch %d: %w", e, err)
 		}
 
-		tb.Flush()
-		tb.ResetStats()
+		h.Flush()
+		h.ResetStats()
 		var misses, faults uint64
 		for i := 0; i < refsPerEpoch; i++ {
 			va := burst.Next()
-			if tb.Access(va).Hit {
+			if h.Access(va).Hit {
 				continue
 			}
-			if entry, _, ok := m.pt.Lookup(va); ok {
+			if entry, walk, ok := m.pt.Lookup(va); ok {
 				misses++
-				tb.Insert(entry)
+				_ = h.FilterWalk(addr.VPNOf(va), walk)
+				h.Insert(entry)
 			} else {
 				faults++
 			}

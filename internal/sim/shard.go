@@ -37,8 +37,10 @@ import (
 
 	"clusterpt/internal/addr"
 	"clusterpt/internal/linear"
+	"clusterpt/internal/mmu/walkcache"
 	"clusterpt/internal/pagetable"
 	"clusterpt/internal/pte"
+	"clusterpt/internal/swtlb"
 	"clusterpt/internal/tlb"
 	"clusterpt/internal/trace"
 )
@@ -54,10 +56,20 @@ type shardChunk struct {
 
 // Miss records ride in the same []addr.V buffers as references so both
 // come from the ReplayBuf free list. The generator 8-aligns every
-// address, so bit 0 is free to carry the one bit the walk lanes need:
+// address, so bits 0-2 are free to carry the bits the walk lanes need:
 // whether a Fig11d miss was a full-block miss (prefetch walk) rather
-// than a subblock miss (single-page walk).
-const missBlockBit = 1
+// than a subblock miss (single-page walk), whether the L2 TLB serviced
+// the miss (no walk at all, only the probe line), and whether the
+// page-walk cache hit (the tree-walked variant's upper levels elide).
+// The stateful L2 and PWC evolve only on the driver lane, in stream
+// order; the walk lanes turn these bits into pure per-record arithmetic,
+// so lane assignment still cannot affect the totals.
+const (
+	missBlockBit  = 1
+	missL2HitBit  = 2
+	missPWCHitBit = 4
+	missRecMask   = missBlockBit | missL2HitBit | missPWCHitBit
+)
 
 // releaseChunk returns the chunk to the recycle channel once its last
 // consumer is done with it.
@@ -78,14 +90,19 @@ type canonMemo struct {
 	table  pagetable.PageTable
 	pages  map[addr.VPN]pte.Entry
 	blocks map[addr.VPBN][]pte.Entry
+	// l2 is the driver's L2 TLB (nil when flat): a full miss fills it
+	// with the same entries the reference TLB receives, mirroring the
+	// serial serviceMiss order.
+	l2 *swtlb.Cache
 }
 
-func newCanonMemo(f Figure, table pagetable.PageTable) *canonMemo {
+func newCanonMemo(f Figure, st *figureState) *canonMemo {
 	return &canonMemo{
 		f:      f,
-		table:  table,
+		table:  st.canonical,
 		pages:  make(map[addr.VPN]pte.Entry),
 		blocks: make(map[addr.VPBN][]pte.Entry),
+		l2:     st.l2,
 	}
 }
 
@@ -109,6 +126,11 @@ func (m *canonMemo) service(va addr.V, res tlb.Result, refTLB *tlb.TLB) (addr.V,
 			m.blocks[vpbn] = entries
 		}
 		refTLB.InsertBlock(vpbn, entries)
+		if m.l2 != nil {
+			for _, e := range entries {
+				m.l2.Insert(e)
+			}
+		}
 		return va | missBlockBit, nil
 	}
 	e, ok := m.pages[vpn]
@@ -121,6 +143,9 @@ func (m *canonMemo) service(va addr.V, res tlb.Result, refTLB *tlb.TLB) (addr.V,
 		m.pages[vpn] = e
 	}
 	refTLB.Insert(e)
+	if m.l2 != nil {
+		m.l2.Insert(e)
+	}
 	return va, nil
 }
 
@@ -136,6 +161,21 @@ func (lc *lineCounts) addCost(c *walkCost) {
 	}
 }
 
+// addCostElided merges one memoized walk with the walk-cached class's
+// upper levels elided — the pure-arithmetic form of a page-walk-cache
+// hit (walkcache.ElideLines). Classes are unique per variant
+// (newFigureState validates), so the elision touches only the
+// tree-walked variant's lines.
+func (lc *lineCounts) addCostElided(c *walkCost, cls LineClass, upper uint32) {
+	for i := range lc {
+		if LineClass(i) == cls {
+			lc[i] += uint64(walkcache.ElideLines(int(c[i]), int(upper)))
+		} else {
+			lc[i] += uint64(c[i])
+		}
+	}
+}
+
 // walkLane replays miss records through the read-only variant walks of
 // serviceMiss, memoizing the cost per page. Each lane keeps a private
 // memo and a private accumulator; because the cost is a pure function
@@ -147,44 +187,74 @@ type walkLane struct {
 	lines    lineCounts
 	pages    map[addr.VPN]*walkCost
 	blocks   map[addr.VPBN]*walkCost
+	// l2Probe (nil when flat) is the constant per-miss L2 probe charge:
+	// l2ProbeLines for every non-reserved variant class. pwcClass and
+	// pwcUpper drive the elided merge on missPWCHitBit records.
+	l2Probe  *walkCost
+	pwcClass LineClass
+	pwcUpper uint32
 }
 
 func newWalkLane(st *figureState) *walkLane {
-	return &walkLane{
+	w := &walkLane{
 		variants: st.variants,
 		builds:   st.builds,
 		pages:    make(map[addr.VPN]*walkCost),
 		blocks:   make(map[addr.VPBN]*walkCost),
 	}
+	if st.l2 != nil {
+		w.l2Probe = new(walkCost)
+		for _, v := range st.variants {
+			if v.ReservedTLB == 0 {
+				w.l2Probe[v.Class] += l2ProbeLines
+			}
+		}
+	}
+	if st.pwcIdx >= 0 {
+		w.pwcClass = st.variants[st.pwcIdx].Class
+		w.pwcUpper = uint32(st.pwcUpper)
+	}
+	return w
 }
 
 // run accounts one chunk's misses.
 func (w *walkLane) run(miss []addr.V) error {
 	for _, rec := range miss {
-		va := rec &^ missBlockBit
+		va := rec &^ missRecMask
 		vpn := addr.VPNOf(va)
+		if w.l2Probe != nil {
+			w.lines.addCost(w.l2Probe)
+			if rec&missL2HitBit != 0 {
+				// L2 hit: no page-table walk happened at all.
+				continue
+			}
+		}
+		var c *walkCost
 		if rec&missBlockBit != 0 {
 			vpbn, _ := addr.BlockSplit(vpn, 4)
-			c, ok := w.blocks[vpbn]
-			if !ok {
+			var ok bool
+			if c, ok = w.blocks[vpbn]; !ok {
 				var err error
 				if c, err = w.walkBlock(vpbn); err != nil {
 					return err
 				}
 				w.blocks[vpbn] = c
 			}
-			w.lines.addCost(c)
-			continue
-		}
-		c, ok := w.pages[vpn]
-		if !ok {
-			var err error
-			if c, err = w.walkPage(va); err != nil {
-				return err
+		} else {
+			var ok bool
+			if c, ok = w.pages[vpn]; !ok {
+				var err error
+				if c, err = w.walkPage(va); err != nil {
+					return err
+				}
+				w.pages[vpn] = c
 			}
-			w.pages[vpn] = c
 		}
-		w.lines.addCost(c)
+		if rec&missPWCHitBit != 0 {
+			w.lines.addCostElided(c, w.pwcClass, w.pwcUpper)
+		} else {
+			w.lines.addCost(c)
+		}
 	}
 	return nil
 }
@@ -294,6 +364,14 @@ func (l *linLane) service(li int, ls *linState, va addr.V) error {
 	vpn := addr.VPNOf(va)
 	m := &l.memos[li]
 
+	if ls.l2 != nil {
+		l.lines[ls.class] += l2ProbeLines
+		if ls.l2.Access(va).Hit {
+			ls.main.Insert(baseRefill(vpn))
+			return nil
+		}
+	}
+
 	if l.f == Fig11d && !res.SubblockMiss {
 		vpbn, _ := addr.BlockSplit(vpn, 4)
 		b, ok := m.blocks[vpbn]
@@ -307,6 +385,11 @@ func (l *linLane) service(li int, ls *linState, va addr.V) error {
 		}
 		l.lines[ls.class] += uint64(b.lines)
 		ls.main.InsertBlock(vpbn, b.entries)
+		if ls.l2 != nil {
+			for _, e := range b.entries {
+				ls.l2.Insert(e)
+			}
+		}
 	} else {
 		p, ok := m.pages[vpn]
 		if !ok {
@@ -319,11 +402,20 @@ func (l *linLane) service(li int, ls *linState, va addr.V) error {
 		}
 		l.lines[ls.class] += uint64(p.lines)
 		ls.main.Insert(p.e)
+		if ls.l2 != nil {
+			ls.l2.Insert(p.e)
+		}
 	}
 
 	leafVA := addr.VAOf(addr.VPN(linear.LeafPageIndex(vpn)))
 	if !ls.pt.Access(leafVA).Hit {
-		l.lines[ls.class] += uint64(m.upper)
+		w := uint64(m.upper)
+		if ls.pwc != nil && ls.pwc.Probe(vpn) {
+			// Only the final directory line is read on a nested-walk
+			// cache hit (ElideLines(upper, upper) == 1).
+			w = 1
+		}
+		l.lines[ls.class] += w
 		ls.pt.Insert(pteForLeaf(vpn))
 		l.nested++
 	}
@@ -414,7 +506,7 @@ func runProcessSharded(f Figure, snap trace.ProcessSnapshot, refs int, cfg Acces
 	}
 
 	gen := trace.NewGenerator(snap, cfg.Seed*31+1)
-	canon := newCanonMemo(f, st.canonical)
+	canon := newCanonMemo(f, st)
 	buf := cfg.Buf
 	var chunks []*shardChunk
 	nextChunk := func() *shardChunk {
@@ -448,10 +540,22 @@ func runProcessSharded(f Figure, snap trace.ProcessSnapshot, refs int, cfg Acces
 				continue
 			}
 			misses++
-			rec, err := canon.service(va, res, st.refTLB)
-			if err != nil {
-				derr = err
-				break
+			var rec addr.V
+			if st.l2 != nil && st.l2.Access(va).Hit {
+				// L2 hit: base-page refill, no walk; the record tells
+				// the walk lanes to charge only the probe line.
+				st.refTLB.Insert(baseRefill(addr.VPNOf(va)))
+				rec = va | missL2HitBit
+			} else {
+				var err error
+				rec, err = canon.service(va, res, st.refTLB)
+				if err != nil {
+					derr = err
+					break
+				}
+				if st.pwcIdx >= 0 && st.pwcs[st.pwcIdx].Probe(addr.VPNOf(va)) {
+					rec |= missPWCHitBit
+				}
 			}
 			c.miss = append(c.miss, rec)
 		}

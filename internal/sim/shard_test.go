@@ -92,6 +92,102 @@ func TestFigure11ShardIdentityTinyRefs(t *testing.T) {
 	}
 }
 
+// TestFigure11ShardIdentityMMU extends the identity gate to the
+// multi-level hierarchies: the L2 TLB and page-walk cache are stateful,
+// but they evolve only on stream-ordered lanes (driver for the shared
+// levels, linear lane for the per-variant ones) while the walk lanes
+// consume their outcomes as record bits, so every lane count must still
+// reproduce the serial row exactly under -mmu l2 and l2+pwc.
+func TestFigure11ShardIdentityMMU(t *testing.T) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	for _, spec := range []string{"l2", "l2+pwc"} {
+		mmuCfg, err := ParseMMU(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []Figure{Fig11a, Fig11b, Fig11c, Fig11d} {
+			serial, err := RunFigure11(f, p, AccessConfig{Refs: 30_000, MMU: mmuCfg, Buf: &ReplayBuf{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				row, err := RunFigure11(f, p, AccessConfig{
+					Refs: 30_000, Shards: shards, MMU: mmuCfg, Buf: &ReplayBuf{},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				figureRowsEqual(t, fmt.Sprintf("mmu=%s/%v/shards=%d", spec, f, shards), row, serial)
+			}
+		}
+	}
+}
+
+// TestFigure11MMUReducesWalks sanity-checks the hierarchy's effect. An
+// L2 hit saves the walk but the probe itself costs a line, so only a
+// multi-line walk can profit: the forward-mapped tree (4+ lines) must
+// drop strictly below its flat average, while the ~1-line hashed and
+// clustered walks pay more in probes than they save — the hierarchy
+// experiment's headline asymmetry. The page-walk cache must then lower
+// (or at worst equal) the tree-walked variant further, leave the
+// walk-less organizations untouched, and the reference miss count — the
+// normalization denominator — must stay identical throughout.
+func TestFigure11MMUReducesWalks(t *testing.T) {
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	cfgFor := func(spec string) AccessConfig {
+		m, err := ParseMMU(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return AccessConfig{Refs: 50_000, MMU: m}
+	}
+	flat, err := RunFigure11(Fig11a, p, cfgFor("flat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := RunFigure11(Fig11a, p, cfgFor("l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pwc, err := RunFigure11(Fig11a, p, cfgFor("l2+pwc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.RefMisses != flat.RefMisses || pwc.RefMisses != flat.RefMisses {
+		t.Fatalf("RefMisses moved with the hierarchy: flat=%d l2=%d l2+pwc=%d",
+			flat.RefMisses, l2.RefMisses, pwc.RefMisses)
+	}
+	if l2.AvgLines["forward-mapped"] >= flat.AvgLines["forward-mapped"] {
+		t.Errorf("forward-mapped: l2 avg %v !< flat avg %v",
+			l2.AvgLines["forward-mapped"], flat.AvgLines["forward-mapped"])
+	}
+	// Single-line walks cannot be beaten by a probe that costs a line.
+	for _, name := range []string{"hashed", "clustered"} {
+		if l2.AvgLines[name] <= flat.AvgLines[name] {
+			t.Errorf("%s: l2 avg %v unexpectedly at or below flat avg %v",
+				name, l2.AvgLines[name], flat.AvgLines[name])
+		}
+	}
+	if pwc.AvgLines["forward-mapped"] > l2.AvgLines["forward-mapped"] {
+		t.Errorf("forward-mapped: l2+pwc avg %v > l2 avg %v",
+			pwc.AvgLines["forward-mapped"], l2.AvgLines["forward-mapped"])
+	}
+	// Hashed and clustered tables have no upper walk: the PWC must be a
+	// no-op for them.
+	for _, name := range []string{"hashed", "clustered"} {
+		if pwc.AvgLines[name] != l2.AvgLines[name] {
+			t.Errorf("%s: l2+pwc avg %v != l2 avg %v (PWC should not apply)",
+				name, pwc.AvgLines[name], l2.AvgLines[name])
+		}
+	}
+}
+
 // TestReplayBufShardedSteadyStateAllocs pins satellite (a): the free
 // list retains grown buffers across takes of differing sizes, so a
 // warmed ReplayBuf serves the sharded pipeline's multi-buffer pattern

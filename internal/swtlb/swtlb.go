@@ -16,6 +16,7 @@ import (
 
 	"clusterpt/internal/addr"
 	"clusterpt/internal/memcost"
+	"clusterpt/internal/mmu"
 	"clusterpt/internal/pagetable"
 	"clusterpt/internal/pte"
 )
@@ -69,15 +70,17 @@ type entry struct {
 	lru   uint64
 }
 
-// Stats counts software-TLB traffic.
-type Stats struct {
-	Hits   uint64
-	Misses uint64
-}
+// Stats counts software-TLB traffic in the hierarchy-wide shape
+// (mmu.Stats): the subblock and replacement fields stay zero here, but
+// hits and misses line up column-for-column with every other level.
+type Stats = mmu.Stats
 
 // Cache is a software TLB in front of a backing page table. It
 // implements pagetable.PageTable itself, so it can be dropped in front of
-// any organization; write operations pass through and invalidate.
+// any organization; write operations pass through and invalidate. A
+// Cache built with NewLevel instead carries no backing table and serves
+// as a pure mmu.Level (the L2 of a translation hierarchy): only the
+// Level surface plus Probe and Invalidate are usable in that mode.
 type Cache struct {
 	cfg     Config
 	backing pagetable.PageTable
@@ -90,11 +93,33 @@ type Cache struct {
 
 // New creates a software TLB over the backing table.
 func New(cfg Config, backing pagetable.PageTable) (*Cache, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
 	if backing == nil {
 		return nil, fmt.Errorf("swtlb: nil backing table")
+	}
+	return newCache(cfg, backing)
+}
+
+// NewLevel creates a standalone software TLB with no backing table, for
+// use as a lower caching level of an mmu.Hierarchy. Misses are the
+// caller's to service (via Insert); the pagetable.PageTable surface is
+// unusable in this mode.
+func NewLevel(cfg Config) (*Cache, error) {
+	return newCache(cfg, nil)
+}
+
+// MustNewLevel is NewLevel for known-good configurations; it panics on
+// error.
+func MustNewLevel(cfg Config) *Cache {
+	c, err := NewLevel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func newCache(cfg Config, backing pagetable.PageTable) (*Cache, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
 	}
 	nsets := cfg.Entries / cfg.Ways
 	sets := make([][]entry, nsets)
@@ -113,12 +138,16 @@ func MustNew(cfg Config, backing pagetable.PageTable) *Cache {
 	return c
 }
 
-// Name implements pagetable.PageTable.
+// Name implements pagetable.PageTable and mmu.Level.
 func (c *Cache) Name() string {
+	base := "swtlb"
 	if c.cfg.Clustered {
-		return "swtlb-clustered+" + c.backing.Name()
+		base = "swtlb-clustered"
 	}
-	return "swtlb+" + c.backing.Name()
+	if c.backing == nil {
+		return base
+	}
+	return base + "+" + c.backing.Name()
 }
 
 // entryBytes is the paper-accounting size of one slot: 8-byte tag plus
@@ -142,14 +171,17 @@ func (c *Cache) setFor(key uint64) []entry {
 	return c.sets[key&uint64(len(c.sets)-1)]
 }
 
-// Lookup implements pagetable.PageTable: a hit costs one cache line
-// (§7: "reduce the TLB miss penalty to a single memory access on a hit");
-// a miss pays the probe plus the backing walk and fills the slot.
-func (c *Cache) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
+// Probe looks up va in the cache alone: the set probe with its cost,
+// no backing walk, no fill. It is the Level-mode lookup path and the
+// first half of Lookup; a hit costs one cache line (§7: "reduce the TLB
+// miss penalty to a single memory access on a hit"), a miss pays the
+// failed probe over the set's tags.
+func (c *Cache) Probe(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
 	vpn := addr.VPNOf(va)
 	key := c.key(vpn)
 
 	c.mu.Lock()
+	c.stats.Accesses++
 	set := c.setFor(key)
 	c.tick++
 	var meter memcost.Meter
@@ -185,15 +217,40 @@ func (c *Cache) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
 	probeCost.Lines = meter.Lines()
 	c.stats.Misses++
 	c.mu.Unlock()
+	return pte.Entry{}, probeCost, false
+}
 
+// Lookup implements pagetable.PageTable: the Probe, plus on a miss the
+// backing page table's full walk and the fill.
+func (c *Cache) Lookup(va addr.V) (pte.Entry, pagetable.WalkCost, bool) {
+	e, probeCost, hit := c.Probe(va)
+	if hit {
+		return e, probeCost, true
+	}
+	vpn := addr.VPNOf(va)
 	e, walk, ok := c.backing.Lookup(va)
 	probeCost.Add(walk)
 	if !ok {
 		return pte.Entry{}, probeCost, false
 	}
-	c.fill(vpn, key, e)
+	c.fill(vpn, c.key(vpn), e)
 	return e, probeCost, true
 }
+
+// Access implements mmu.Level: the probe alone, hit/miss outcome.
+func (c *Cache) Access(va addr.V) mmu.Result {
+	_, _, hit := c.Probe(va)
+	return mmu.Result{Hit: hit}
+}
+
+// Insert implements mmu.Level, filling the slot for a translation the
+// caller's walk produced.
+func (c *Cache) Insert(e pte.Entry) {
+	c.fill(e.VPN, c.key(e.VPN), e)
+}
+
+// Flush implements mmu.Level (the shootdown alias of InvalidateAll).
+func (c *Cache) Flush() { c.InvalidateAll() }
 
 // fill installs a translation after a miss.
 func (c *Cache) fill(vpn addr.VPN, key uint64, e pte.Entry) {
@@ -314,11 +371,40 @@ func (c *Cache) Size() pagetable.Size {
 // operation counts; use CacheStats for hit/miss traffic.
 func (c *Cache) Stats() pagetable.Stats { return c.backing.Stats() }
 
-// CacheStats reports software-TLB hits and misses.
+// CacheStats reports software-TLB traffic (alias of the Level-surface
+// Stats, kept for the PageTable-mode callers where Stats means the
+// backing table's operation counts).
 func (c *Cache) CacheStats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
 }
 
-var _ pagetable.PageTable = (*Cache)(nil)
+// LevelStats reports software-TLB traffic under the mmu.Level surface.
+// The method cannot be named Stats — that slot is taken by the
+// PageTable contract — so the Level adapter below rebinds it.
+func (c *Cache) LevelStats() Stats { return c.CacheStats() }
+
+// ResetStats clears the traffic counters, keeping contents.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// Level adapts a Cache to mmu.Level. The only indirection is Stats:
+// Cache.Stats is claimed by pagetable.PageTable (backing-table operation
+// counts), so the adapter rebinds the Level's Stats to CacheStats.
+type Level struct{ *Cache }
+
+// AsLevel wraps the cache for use in an mmu.Hierarchy.
+func (c *Cache) AsLevel() Level { return Level{c} }
+
+// Stats implements mmu.Level with the cache's own traffic counters.
+func (l Level) Stats() Stats { return l.Cache.CacheStats() }
+
+var (
+	_ pagetable.PageTable = (*Cache)(nil)
+	_ mmu.Level           = Level{}
+	_ mmu.Invalidator     = Level{}
+)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"clusterpt/internal/addr"
+	"clusterpt/internal/mmu"
 	"clusterpt/internal/pte"
 )
 
@@ -42,6 +43,13 @@ func MustNewLocked(cfg Config) *Locked {
 	return l
 }
 
+// Name implements mmu.Level.
+func (l *Locked) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tlb.Name()
+}
+
 // Access serializes TLB.Access.
 func (l *Locked) Access(va addr.V) Result {
 	l.mu.Lock()
@@ -70,6 +78,13 @@ func (l *Locked) InsertBlock(vpbn addr.VPBN, entries []pte.Entry) {
 	l.tlb.InsertBlock(vpbn, entries)
 }
 
+// Invalidate serializes TLB.Invalidate.
+func (l *Locked) Invalidate(vpn addr.VPN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tlb.Invalidate(vpn)
+}
+
 // Flush serializes TLB.Flush.
 func (l *Locked) Flush() {
 	l.mu.Lock()
@@ -90,3 +105,8 @@ func (l *Locked) ResetStats() {
 	defer l.mu.Unlock()
 	l.tlb.ResetStats()
 }
+
+var (
+	_ mmu.Level       = (*Locked)(nil)
+	_ mmu.Invalidator = (*Locked)(nil)
+)

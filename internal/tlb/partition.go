@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clusterpt/internal/addr"
+	"clusterpt/internal/mmu"
 	"clusterpt/internal/pte"
 )
 
@@ -73,6 +74,11 @@ func NewPartitioned(cfg Config, k int, route func(addr.V) int) (*Partitioned, er
 // K returns the slice count.
 func (p *Partitioned) K() int { return len(p.parts) }
 
+// Name implements mmu.Level.
+func (p *Partitioned) Name() string {
+	return fmt.Sprintf("%s/%dway", p.parts[0].Name(), len(p.parts))
+}
+
 // Part returns slice i, for per-shard replay loops that bind a slice to
 // a sharded sub-stream directly instead of routing every access.
 func (p *Partitioned) Part(i int) *TLB { return p.parts[i] }
@@ -102,6 +108,11 @@ func (p *Partitioned) Flush() {
 	}
 }
 
+// Invalidate routes the single-page shootdown to the slice owning vpn.
+func (p *Partitioned) Invalidate(vpn addr.VPN) {
+	p.parts[p.route(addr.VAOf(vpn))].Invalidate(vpn)
+}
+
 // Stats returns the aggregate traffic counters, summed over slices in
 // index order.
 func (p *Partitioned) Stats() Stats {
@@ -117,3 +128,15 @@ func (p *Partitioned) Stats() Stats {
 	}
 	return s
 }
+
+// ResetStats clears every slice's counters, keeping contents.
+func (p *Partitioned) ResetStats() {
+	for _, t := range p.parts {
+		t.ResetStats()
+	}
+}
+
+var (
+	_ mmu.Level       = (*Partitioned)(nil)
+	_ mmu.Invalidator = (*Partitioned)(nil)
+)

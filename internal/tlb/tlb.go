@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"clusterpt/internal/addr"
+	"clusterpt/internal/mmu"
 	"clusterpt/internal/pte"
 )
 
@@ -87,24 +88,10 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Stats counts TLB traffic. For the complete-subblock kind Misses =
-// BlockMisses + SubblockMisses.
-type Stats struct {
-	Accesses       uint64
-	Hits           uint64
-	Misses         uint64
-	BlockMisses    uint64
-	SubblockMisses uint64
-	Replacements   uint64
-}
-
-// MissRatio returns misses per access.
-func (s Stats) MissRatio() float64 {
-	if s.Accesses == 0 {
-		return 0
-	}
-	return float64(s.Misses) / float64(s.Accesses)
-}
+// Stats counts TLB traffic in the hierarchy-wide shape (mmu.Stats), so
+// per-level numbers are directly comparable in reports. For the
+// complete-subblock kind Misses = BlockMisses + SubblockMisses.
+type Stats = mmu.Stats
 
 // entry is one fully-associative TLB slot.
 type entry struct {
@@ -133,15 +120,8 @@ const (
 	fCSB
 )
 
-// Result reports the outcome of one access.
-type Result struct {
-	// Hit is true when the TLB covered the address.
-	Hit bool
-	// SubblockMiss is true when a complete-subblock TLB had the block's
-	// tag resident but not the page's mapping: servicing it adds a
-	// mapping without replacing an entry (§4.4).
-	SubblockMiss bool
-}
+// Result reports the outcome of one access (the hierarchy-wide shape).
+type Result = mmu.Result
 
 // TLB is a simulated, fully-associative, true-LRU TLB.
 type TLB struct {
@@ -167,6 +147,14 @@ type TLB struct {
 	lruPrev, lruNext []int32
 	lruHead, lruTail int32
 	free             int32
+
+	// freed holds slots below the fill watermark that Invalidate
+	// emptied, kept in ascending index order. victim consumes it before
+	// the watermark so the indexed TLB reproduces the scan's
+	// lowest-index-invalid-first choice: every valid slot sits below
+	// free, so the scan's first invalid slot is exactly min(freed) when
+	// freed is non-empty and free otherwise. Indexed mode only.
+	freed []int32
 
 	// One-entry MRU filter: the outcome of the last Access, valid until
 	// anything changes coverage (Insert/InsertBlock/Flush). Repeating
@@ -204,6 +192,9 @@ func MustNew(cfg Config) *TLB {
 
 // Kind returns the organization.
 func (t *TLB) Kind() Kind { return t.cfg.Kind }
+
+// Name implements mmu.Level.
+func (t *TLB) Name() string { return "tlb-" + t.cfg.Kind.String() }
 
 // Entries returns the entry count.
 func (t *TLB) Entries() int { return t.cfg.Entries }
@@ -383,6 +374,14 @@ func (t *TLB) lruTouch(v int32) {
 // slot if one exists, else the least recently used entry.
 func (t *TLB) victim() int32 {
 	if t.idx != nil {
+		if len(t.freed) > 0 {
+			// Invalidated slots sit below the watermark, so the lowest
+			// of them is the scan's lowest-index invalid slot.
+			v := t.freed[0]
+			copy(t.freed, t.freed[1:])
+			t.freed = t.freed[:len(t.freed)-1]
+			return v
+		}
 		if int(t.free) < len(t.entries) {
 			v := t.free
 			t.free++
@@ -537,6 +536,40 @@ func (t *TLB) insertPSB(vpbn addr.VPBN, mask uint16, basePPN addr.PPN) {
 	t.replace(t.victim(), entry{valid: true, format: fPSB, vpbn: vpbn, mask: mask, ppn: basePPN, lru: t.tick})
 }
 
+// Invalidate drops every entry covering vpn — the single-page
+// shootdown. Block entries are dropped whole (conservative: a
+// shootdown of one page kills the block's tag), matching what an OS
+// must do when it cannot prove the rest of the block unchanged. Victim
+// order is preserved across modes: the scan refills the freed slot as
+// its lowest-index invalid choice, and indexed mode records it in the
+// sorted freed list victim consumes first.
+func (t *TLB) Invalidate(vpn addr.VPN) {
+	for {
+		s := t.lookupSlot(vpn)
+		if s < 0 {
+			break
+		}
+		t.entries[s].valid = false
+		if t.idx != nil {
+			t.idx.remove(&t.entries[s], s, t.entries)
+			t.lruUnlink(s)
+			t.freeSlot(s)
+		}
+	}
+	t.forget()
+}
+
+// freeSlot records an invalidated slot in ascending index order.
+func (t *TLB) freeSlot(s int32) {
+	i := len(t.freed)
+	t.freed = append(t.freed, s)
+	for i > 0 && t.freed[i-1] > s {
+		t.freed[i] = t.freed[i-1]
+		i--
+	}
+	t.freed[i] = s
+}
+
 // Flush invalidates every entry (context switch without ASIDs).
 func (t *TLB) Flush() {
 	for i := range t.entries {
@@ -546,6 +579,7 @@ func (t *TLB) Flush() {
 		t.idx.clear()
 		t.lruHead, t.lruTail = -1, -1
 		t.free = 0
+		t.freed = t.freed[:0]
 	}
 	t.forget()
 }
@@ -555,3 +589,9 @@ func (t *TLB) Stats() Stats { return t.stats }
 
 // ResetStats clears the traffic counters, keeping TLB contents.
 func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+var (
+	_ mmu.Level       = (*TLB)(nil)
+	_ mmu.Invalidator = (*TLB)(nil)
+)
+
