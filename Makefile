@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint fuzz-smoke bench bench-alloc bench-replay bench-mmu
+.PHONY: all build test lint fuzz-smoke bench bench-alloc bench-replay bench-mmu bench-replica
 
 all: build lint test
 
@@ -72,3 +72,17 @@ bench-mmu:
 	{ $(GO) test -run '^$$' -bench BenchmarkHierarchy -benchmem -count 3 ./internal/mmu/ ; \
 	  $(GO) test -run '^$$' -bench BenchmarkFigure11Hierarchy -benchmem -count 3 ./internal/sim/ ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_mmu.json
+
+# bench-replica measures the replicated page-table service — read
+# scaling across goroutines × replication factor (with the plain
+# single-table Service as the factor-1 baseline) and the broadcast
+# write cost that climbs with the factor — and snapshots the result as
+# BENCH_replica.json. The read-mostly claim lives here: R=8/g8 vs
+# R=1/g8 is the contention the replication removes — on a multi-core
+# host; with one CPU the read curves collapse to serial cost (the
+# write curve's linear climb with R shows regardless). Regenerate
+# after service or replication changes and commit the diff.
+bench-replica:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplicatedRead|BenchmarkSingleServiceRead|BenchmarkReplicatedWrite' \
+	  -benchmem -count 3 ./internal/service/ \
+	| $(GO) run ./cmd/benchjson > BENCH_replica.json

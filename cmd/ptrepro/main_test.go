@@ -29,6 +29,34 @@ func TestRunAllExperiments(t *testing.T) {
 	}
 }
 
+// TestReplicationGridIdentity holds the replication experiment to its
+// acceptance contract: rendered bytes are identical at every
+// (-workers, -shards, -replicas) combination.
+func TestReplicationGridIdentity(t *testing.T) {
+	*refsFlag = 4_000
+	*seedFlag = 1
+	*csvFlag = false
+	grid := []struct{ workers, shards, replicas int }{
+		{1, 1, 0}, {8, 1, 0}, {3, 8, 0}, {4, 4, 1}, {2, 6, 2}, {8, 8, 16},
+	}
+	var want []byte
+	for _, g := range grid {
+		*workersFlag, *shardsFlag, *replicasFlag = g.workers, g.shards, g.replicas
+		var buf bytes.Buffer
+		if err := run(context.Background(), &buf, "replication"); err != nil {
+			t.Fatalf("(%d,%d,%d): %v", g.workers, g.shards, g.replicas, err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("output at (-workers=%d -shards=%d -replicas=%d) diverged from (-workers=1 -shards=1 -replicas=0)",
+				g.workers, g.shards, g.replicas)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	err := run(context.Background(), &buf, "nope")

@@ -7,12 +7,19 @@
 // to overlap trace generation with replay. Output is identical at every
 // (-workers, -shards) combination.
 //
+// -replicas N (0 = off) replicates each process's table across N
+// NUMA-node replicas: TLB misses round-robin over eight node-bound read
+// paths, local where node < N and remote otherwise, priced by the NUMA
+// line model. It replaces the walk-filter path, so it composes only
+// with -mmu flat and rejects -tlb subblock.
+//
 // Usage:
 //
 //	ptsim -w coral -table clustered -tlb single
 //	ptsim -w ML -table hashed -tlb subblock -refs 1000000 -entries 128
 //	ptsim -w gcc -table clustered -tlb psb -line 128 -buckets 1024 -workers 4
 //	ptsim -w gcc -table forward -tlb single -mmu l2+pwc
+//	ptsim -w gcc -table forward -tlb single -replicas 8
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"clusterpt/internal/linear"
 	"clusterpt/internal/memcost"
 	"clusterpt/internal/pagetable"
+	svc "clusterpt/internal/service"
 	"clusterpt/internal/sim"
 	"clusterpt/internal/swtlb"
 	"clusterpt/internal/tlb"
@@ -50,6 +58,7 @@ var (
 	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent process cells")
 	shards    = flag.Int("shards", 1, "intra-cell replay lanes (shares the -workers budget; results identical at any value)")
 	mmuSpec   = flag.String("mmu", "flat", "translation hierarchy around the simulated TLB: flat, l2, or l2+pwc")
+	replicas  = flag.Int("replicas", 0, "replicate the page table across N NUMA-node replicas (0 = off): TLB misses are served through node-bound replicated read paths and priced by the NUMA line model")
 )
 
 func main() {
@@ -107,6 +116,12 @@ type procResult struct {
 	lines    uint64
 	misses   uint64
 	accesses uint64
+	// Replicated-service counters, populated only under -replicas:
+	// service-cache hits among the misses served, and the NUMA-priced
+	// walk lines split by locality (already folded into lines).
+	svcHits     uint64
+	localLines  uint64
+	remoteLines uint64
 }
 
 // simProcess drives one process's trace — one cell of the run. With
@@ -134,9 +149,51 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 	// lines accumulate in the hierarchy's probe meter and fold in below.
 	t := tlb.MustNew(tlb.Config{Kind: kind, Entries: *entries})
 	h := mcfg.BuildHierarchy(t, build.Table, m)
+
+	// Under -replicas, misses route through node-bound read paths of a
+	// replicated service whose replicas are built from the identical
+	// snapshot; the walk bill comes from the NUMA-priced NodeCost meters
+	// instead of the raw per-walk lines.
+	var nodes []*svc.Node
+	if *replicas > 0 {
+		rep, err := svc.NewReplicated(
+			svc.ReplicatedConfig{Config: svc.Config{Stripes: 32, CacheSlots: 1024}, Replicas: *replicas},
+			func(int) (pagetable.PageTable, error) {
+				rt, err := newTable(m)
+				if err != nil {
+					return nil, err
+				}
+				rv := sim.TableVariant{Name: *tableName, New: func(memcost.Model) pagetable.PageTable { return rt }}
+				rb, err := sim.BuildProcess(rv, mode, snap, m)
+				if err != nil {
+					return nil, err
+				}
+				return rb.Table, nil
+			})
+		if err != nil {
+			return res, err
+		}
+		for i := 0; i < rep.Nodes(); i++ {
+			nodes = append(nodes, rep.Node(i))
+		}
+	}
+	var served uint64
 	service := func(va addr.V) error {
 		r := h.Access(va)
 		if r.Hit {
+			return nil
+		}
+		if nodes != nil {
+			// Round-robin the miss stream across the modeled nodes: the
+			// reader population spreads over the machine, each walk local
+			// or remote by its node's position against the replica set.
+			node := nodes[served%uint64(len(nodes))]
+			served++
+			e, ok := node.Lookup(va)
+			if !ok {
+				return fmt.Errorf("lost %v", va)
+			}
+			h.Insert(e)
 			return nil
 		}
 		if kind == tlb.CompleteSubblock && !r.SubblockMiss {
@@ -176,6 +233,13 @@ func simProcess(snap trace.ProcessSnapshot, n int, kind tlb.Kind, mode sim.PTEMo
 		}
 	}
 	res.misses = t.Stats().Misses
+	for _, node := range nodes {
+		c := node.Cost()
+		res.svcHits += c.Hits
+		res.localLines += c.LocalLines
+		res.remoteLines += c.RemoteLines
+	}
+	res.lines += res.localLines + res.remoteLines
 	res.lines += uint64(h.ProbeCost().Lines)
 	res.accesses = uint64(n)
 	sz := build.Table.Size()
@@ -250,6 +314,17 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if *replicas > 0 {
+		if *replicas > memcost.DefaultNodes {
+			return fmt.Errorf("-replicas %d exceeds the %d-node NUMA model", *replicas, memcost.DefaultNodes)
+		}
+		if kind == tlb.CompleteSubblock {
+			return fmt.Errorf("-replicas does not compose with -tlb subblock (block prefetch bypasses the service read path)")
+		}
+		if !mcfg.Flat() {
+			return fmt.Errorf("-replicas does not compose with -mmu %s (the replicated service read path replaces the walk filter)", mcfg)
+		}
+	}
 	m := memcost.NewModel(*lineSize)
 
 	var cells []engine.ShardedCell[procResult]
@@ -274,11 +349,15 @@ func run(ctx context.Context) error {
 	}
 
 	var totLines, totMisses, totAccesses uint64
+	var totSvcHits, totLocal, totRemote uint64
 	for _, r := range results {
 		fmt.Println(r.info)
 		totLines += r.lines
 		totMisses += r.misses
 		totAccesses += r.accesses
+		totSvcHits += r.svcHits
+		totLocal += r.localLines
+		totRemote += r.remoteLines
 	}
 	// The mmu field is appended only for non-flat pipelines, so the
 	// default summary line stays byte-identical to earlier releases.
@@ -292,6 +371,12 @@ func run(ctx context.Context) error {
 		totAccesses, totMisses, float64(totMisses)/float64(totAccesses))
 	if totMisses > 0 {
 		fmt.Printf("avg cache lines / miss = %.3f\n", float64(totLines)/float64(totMisses))
+	}
+	// The replica summary is appended only under -replicas, so the
+	// default output stays byte-identical to earlier releases.
+	if *replicas > 0 {
+		fmt.Printf("replicas=%d nodes=%d svc-cache-hits=%d local-lines=%d remote-lines=%d\n",
+			*replicas, memcost.DefaultNodes, totSvcHits, totLocal, totRemote)
 	}
 	return nil
 }

@@ -180,6 +180,12 @@ type Options struct {
 	// paper's flat single level; every previously rendered byte is
 	// identical under it.
 	MMU sim.MMUConfig
+	// Replicas caps concurrently replaying replication points inside
+	// each replication-experiment cell (each point holds up to eight
+	// replica tables, so the cap bounds peak replica memory). 0 leaves
+	// the lane grant in charge. Like Workers and Shards it is an
+	// execution knob: results are byte-identical at every value.
+	Replicas int
 	// Verbose logs per-experiment progress lines to Log.
 	Verbose bool
 	// Log receives progress output (nil = os.Stderr).

@@ -33,7 +33,7 @@ func TestRegistryOrderAndNames(t *testing.T) {
 	want := []string{
 		"table1", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
 		"table2", "lines", "sweeps", "residency", "swtlb", "multiprog",
-		"partition", "churn", "hierarchy", "verify",
+		"partition", "churn", "hierarchy", "replication", "verify",
 		"concurrent-lookup", "concurrent-mixed",
 	}
 	got := Default().Names()

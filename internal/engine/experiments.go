@@ -92,6 +92,11 @@ func init() {
 		Run:         runHierarchy,
 	})
 	mustRegister(Experiment{
+		Name:        "replication",
+		Description: "Mitosis/numaPTE: replicated tables, factor × write-rate shootdown crossover per organization",
+		Run:         runReplication,
+	})
+	mustRegister(Experiment{
 		Name:        "verify",
 		Description: "reproduction self-check: headline claims as executable assertions",
 		Run:         runVerify,

@@ -52,6 +52,10 @@ func (rc *RunContext) Shards() int {
 // into their replay configs (the -mmu flag; zero value = flat).
 func (rc *RunContext) MMU() sim.MMUConfig { return rc.eng.opts.MMU }
 
+// ReplicaCap returns the -replicas execution cap on concurrently live
+// replicated point replays (0 = uncapped; never affects bytes).
+func (rc *RunContext) ReplicaCap() int { return rc.eng.opts.Replicas }
+
 // CountRefs lets a cell report how many trace references it simulated;
 // the total feeds the refs/sec instrumentation. Safe for concurrent use.
 func (rc *RunContext) CountRefs(n uint64) { rc.refs.Add(n) }

@@ -1,0 +1,132 @@
+package memcost
+
+import "fmt"
+
+// This file extends the §6.1 cache-line cost model across NUMA nodes,
+// giving replicated page tables (Mitosis) and their coherence traffic
+// (numaPTE) a common currency with the per-walk line accounting: every
+// cost below is denominated in *local* cache-line accesses, so a
+// replicated table's walk-locality win and its shootdown tax add up in
+// the same column as Figure 11's lines-per-miss metric.
+
+// Default NUMA geometry: an eight-node machine (the largest Mitosis
+// evaluates), remote lines at twice the local cost (inter-socket
+// latency runs 1.5–2x local DRAM on the machines both papers measure;
+// the integer 2 keeps accounting exact), four lines per IPI round (the
+// interrupt, the handler's state, and the acknowledgment dwarf a line
+// fetch; numaPTE measures microseconds per shootdown, which this
+// deliberately understates so replication is charged conservatively),
+// and one dirtied line per remote PTE update.
+const (
+	DefaultNodes        = 8
+	DefaultRemoteFactor = 2
+	DefaultIPILines     = 4
+	DefaultInvLines     = 1
+)
+
+// NUMAModel describes the modeled machine for replicated-table
+// accounting. The zero value is not valid; use DefaultNUMA or fill
+// every field.
+type NUMAModel struct {
+	// Nodes is the number of memory nodes readers spread across.
+	Nodes int
+	// RemoteFactor is the cost of one remote line access in local
+	// lines. 1 models a uniform machine (replication cannot win).
+	RemoteFactor int
+	// IPILines is the charge per remote replica per write broadcast:
+	// the interrupt round that makes the remote node's stale
+	// translations unreachable.
+	IPILines int
+	// InvLines is the lines dirtied per page updated on one remote
+	// replica; each is charged at RemoteFactor (it is a remote store).
+	InvLines int
+}
+
+// DefaultNUMA returns the eight-node model described above.
+func DefaultNUMA() NUMAModel {
+	return NUMAModel{
+		Nodes:        DefaultNodes,
+		RemoteFactor: DefaultRemoteFactor,
+		IPILines:     DefaultIPILines,
+		InvLines:     DefaultInvLines,
+	}
+}
+
+// Validate rejects geometries the accounting cannot price.
+func (m NUMAModel) Validate() error {
+	if m.Nodes < 1 {
+		return fmt.Errorf("memcost: NUMA model needs at least one node, got %d", m.Nodes)
+	}
+	if m.RemoteFactor < 1 {
+		return fmt.Errorf("memcost: remote factor %d would make remote lines cheaper than local", m.RemoteFactor)
+	}
+	if m.IPILines < 0 || m.InvLines < 0 {
+		return fmt.Errorf("memcost: negative shootdown charge (ipi=%d inv=%d)", m.IPILines, m.InvLines)
+	}
+	return nil
+}
+
+// WalkLines prices one walk's line count as seen from the reader: a
+// walk against the node's own replica costs its raw lines, a walk that
+// crosses the interconnect costs RemoteFactor times as much.
+func (m NUMAModel) WalkLines(lines int, local bool) int {
+	if local {
+		return lines
+	}
+	return lines * m.RemoteFactor
+}
+
+// BroadcastLines prices one write broadcast that updated pages base
+// pages on each of remotes remote replicas: an IPI round per remote
+// replica plus the remote stores of the PTE updates themselves.
+func (m NUMAModel) BroadcastLines(remotes, pages int) int {
+	if remotes <= 0 || pages < 0 {
+		return 0
+	}
+	return remotes*m.IPILines + remotes*pages*m.InvLines*m.RemoteFactor
+}
+
+// ShootdownTally aggregates replica-coherence costs across a run, the
+// numaPTE side of the replication trade.
+type ShootdownTally struct {
+	// Broadcasts counts write broadcasts that reached a remote replica.
+	Broadcasts uint64
+	// IPIs counts remote-replica interrupt rounds (one per remote
+	// replica per broadcast; block writes batch into one round).
+	IPIs uint64
+	// RemotePages counts page updates applied to remote replicas.
+	RemotePages uint64
+	// Lines is the total modeled cost in local cache lines.
+	Lines uint64
+}
+
+// Broadcast folds one write broadcast into the tally.
+func (t *ShootdownTally) Broadcast(m NUMAModel, remotes, pages int) {
+	if remotes <= 0 || pages <= 0 {
+		return
+	}
+	t.Broadcasts++
+	t.IPIs += uint64(remotes)
+	t.RemotePages += uint64(remotes) * uint64(pages)
+	t.Lines += uint64(m.BroadcastLines(remotes, pages))
+}
+
+// Sub returns the cost accumulated since base was snapshotted — the
+// replay idiom for excluding a table's population phase from its
+// steady-state accounting.
+func (t ShootdownTally) Sub(base ShootdownTally) ShootdownTally {
+	return ShootdownTally{
+		Broadcasts:  t.Broadcasts - base.Broadcasts,
+		IPIs:        t.IPIs - base.IPIs,
+		RemotePages: t.RemotePages - base.RemotePages,
+		Lines:       t.Lines - base.Lines,
+	}
+}
+
+// Merge folds another tally into this one.
+func (t *ShootdownTally) Merge(o ShootdownTally) {
+	t.Broadcasts += o.Broadcasts
+	t.IPIs += o.IPIs
+	t.RemotePages += o.RemotePages
+	t.Lines += o.Lines
+}

@@ -1,0 +1,68 @@
+package memcost
+
+import "testing"
+
+func TestNUMAValidate(t *testing.T) {
+	if err := DefaultNUMA().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []NUMAModel{
+		{},
+		{Nodes: 0, RemoteFactor: 2, IPILines: 4, InvLines: 1},
+		{Nodes: 8, RemoteFactor: 0, IPILines: 4, InvLines: 1},
+		{Nodes: 8, RemoteFactor: 2, IPILines: -1, InvLines: 1},
+		{Nodes: 8, RemoteFactor: 2, IPILines: 4, InvLines: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d (%+v) unexpectedly valid", i, m)
+		}
+	}
+}
+
+func TestWalkLines(t *testing.T) {
+	m := NUMAModel{Nodes: 4, RemoteFactor: 3, IPILines: 4, InvLines: 1}
+	if got := m.WalkLines(5, true); got != 5 {
+		t.Errorf("local walk = %d, want 5", got)
+	}
+	if got := m.WalkLines(5, false); got != 15 {
+		t.Errorf("remote walk = %d, want 15", got)
+	}
+	if got := m.WalkLines(0, false); got != 0 {
+		t.Errorf("zero-line remote walk = %d, want 0", got)
+	}
+}
+
+func TestBroadcastLines(t *testing.T) {
+	m := DefaultNUMA() // remote=2, ipi=4, inv=1
+	// 3 remote replicas, 2 pages: 3*4 IPI lines + 3*2*1*2 update lines.
+	if got := m.BroadcastLines(3, 2); got != 24 {
+		t.Errorf("BroadcastLines(3,2) = %d, want 24", got)
+	}
+	if got := m.BroadcastLines(0, 5); got != 0 {
+		t.Errorf("no remotes should cost nothing, got %d", got)
+	}
+	// A failed write broadcasts no update: zero pages still pays no IPI
+	// through the tally (Broadcast filters it), but the raw pricing of
+	// an IPI-only round is remotes*IPILines.
+	if got := m.BroadcastLines(2, 0); got != 8 {
+		t.Errorf("BroadcastLines(2,0) = %d, want 8", got)
+	}
+}
+
+func TestShootdownTally(t *testing.T) {
+	m := DefaultNUMA()
+	var tally ShootdownTally
+	tally.Broadcast(m, 3, 2) // 24 lines
+	tally.Broadcast(m, 0, 1) // no remotes: no-op
+	tally.Broadcast(m, 3, 0) // no pages: no-op
+	if tally.Broadcasts != 1 || tally.IPIs != 3 || tally.RemotePages != 6 || tally.Lines != 24 {
+		t.Fatalf("tally = %+v", tally)
+	}
+	var other ShootdownTally
+	other.Broadcast(m, 1, 1) // 4 + 2 = 6 lines
+	tally.Merge(other)
+	if tally.Broadcasts != 2 || tally.IPIs != 4 || tally.RemotePages != 7 || tally.Lines != 30 {
+		t.Fatalf("merged tally = %+v", tally)
+	}
+}

@@ -1,0 +1,127 @@
+package mm
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/hashed"
+	"clusterpt/internal/linear"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+// unmapRecorder counts OnUnmap events per page and fails on duplicates:
+// the shootdown contract is exactly one event per removed translation,
+// no matter which bulk path (superpage, replicated PTE) tore it down.
+type unmapRecorder struct {
+	t      *testing.T
+	events map[addr.VPN]int
+}
+
+func recordUnmaps(t *testing.T, s *AddressSpace) *unmapRecorder {
+	rec := &unmapRecorder{t: t, events: make(map[addr.VPN]int)}
+	s.OnUnmap = func(vpn addr.VPN) {
+		rec.events[vpn]++
+		if rec.events[vpn] > 1 {
+			t.Errorf("duplicate shootdown for vpn %#x", uint64(vpn))
+		}
+	}
+	return rec
+}
+
+func (r *unmapRecorder) want(rng addr.Range) {
+	r.t.Helper()
+	want := make(map[addr.VPN]bool)
+	rng.Pages(func(vpn addr.VPN) bool { want[vpn] = true; return true })
+	for vpn := range want {
+		if r.events[vpn] != 1 {
+			r.t.Errorf("vpn %#x: %d shootdown events, want 1", uint64(vpn), r.events[vpn])
+		}
+	}
+	if len(r.events) != len(want) {
+		r.t.Errorf("%d shootdown events, want %d", len(r.events), len(want))
+	}
+}
+
+func TestOnUnmapFiresPerPage(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   func() pagetable.PageTable
+	}{
+		{"core-compact", func() pagetable.PageTable { return core.MustNew(core.Config{}) }},
+		{"hashed-multi", func() pagetable.PageTable {
+			return hashed.MustNewMulti(hashed.Config{}, 4, hashed.BaseFirst)
+		}},
+		{"linear-replicated", func() pagetable.PageTable { return linear.MustNew(linear.Config{}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSpace(t, tc.pt(), 4096, Policy{UseSuperpages: true, UsePartial: true})
+			// 40 pages: two full blocks (superpages) + half a block (psb
+			// or base), so teardown exercises every bulk-removal path.
+			r := addr.PageRange(0x100000, 40)
+			if err := s.Reserve(addr.PageRange(0x100000, 64), pte.AttrR, "data"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Populate(r); err != nil {
+				t.Fatal(err)
+			}
+			rec := recordUnmaps(t, s)
+			if err := s.EvictRange(r); err != nil {
+				t.Fatal(err)
+			}
+			rec.want(r)
+		})
+	}
+}
+
+func TestOnUnmapSilentOnMapAndDemote(t *testing.T) {
+	ct := core.MustNew(core.Config{})
+	s := newSpace(t, ct, 4096, Policy{UseSuperpages: true, UsePartial: true})
+	r := addr.PageRange(0x200000, 16)
+	s.Reserve(r, pte.AttrR, "heap")
+	rec := recordUnmaps(t, s)
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	// Demotion keeps every translation alive: format change, no shootdown.
+	if !s.Demote(addr.VPNOf(0x200000)) {
+		t.Fatal("demote failed on a populated clustered block")
+	}
+	if len(rec.events) != 0 {
+		t.Fatalf("map/demote fired %d shootdown events", len(rec.events))
+	}
+	if err := s.EvictRange(r); err != nil {
+		t.Fatal(err)
+	}
+	rec.want(r)
+}
+
+func TestOnUnmapUnderChurnRefault(t *testing.T) {
+	// Evict then fault back in: the hook sees one event per eviction
+	// round and none for the refaults, so a replica mirroring through
+	// OnMap/OnUnmap stays exact across reuse cycles.
+	s := newSpace(t, core.MustNew(core.Config{}), 4096, Policy{UseSuperpages: true, UsePartial: true})
+	r := addr.PageRange(0x300000, 32)
+	s.Reserve(r, pte.AttrR|pte.AttrW, "slab")
+	if err := s.Populate(r); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	s.OnUnmap = func(addr.VPN) { total++ }
+	for round := 0; round < 3; round++ {
+		if err := s.EvictRange(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Populate(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 3*32 {
+		t.Errorf("total shootdowns = %d, want %d", total, 3*32)
+	}
+	if s.ResidentPages() != 32 {
+		t.Errorf("resident = %d", s.ResidentPages())
+	}
+}

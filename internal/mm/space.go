@@ -58,12 +58,28 @@ type AddressSpace struct {
 	// a reference model from the allocator's actual frame choices
 	// without reading them back through the table under test.
 	OnMap func(vpn addr.VPN, ppn addr.PPN, attr pte.Attr)
+
+	// OnUnmap, when non-nil, is the shootdown hook: it observes every
+	// base-page translation this space removes — one call per page,
+	// including every page of a superpage or replicated compact PTE
+	// torn down in one bulk table operation. TLB models and replicated
+	// page tables hang precise per-page invalidation off it instead of
+	// flushing whole epochs. Demotion does not fire it: a demoted
+	// block's translations survive, only their format changes.
+	OnUnmap func(vpn addr.VPN)
 }
 
 // noteMap reports one installed translation to the OnMap observer.
 func (s *AddressSpace) noteMap(vpn addr.VPN, ppn addr.PPN, attr pte.Attr) {
 	if s.OnMap != nil {
 		s.OnMap(vpn, ppn, attr)
+	}
+}
+
+// noteUnmap reports one removed translation to the OnUnmap observer.
+func (s *AddressSpace) noteUnmap(vpn addr.VPN) {
+	if s.OnUnmap != nil {
+		s.OnUnmap(vpn)
 	}
 }
 
@@ -382,6 +398,7 @@ func (s *AddressSpace) unmapOne(vpn addr.VPN, e pte.Entry) error {
 	}
 	err := s.pt.Unmap(vpn)
 	if err == nil {
+		s.noteUnmap(vpn)
 		return nil
 	}
 	// Large superpages refuse per-page unmap; the whole superpage goes.
@@ -394,11 +411,38 @@ func (s *AddressSpace) unmapOne(vpn addr.VPN, e pte.Entry) error {
 	if e.Kind == pte.KindSuperpage {
 		if su, ok := s.pt.(spUnmapper); ok {
 			base := vpn &^ addr.VPN(e.Size.Pages()-1)
-			return su.UnmapSuperpage(base, e.Size)
+			if err := su.UnmapSuperpage(base, e.Size); err != nil {
+				return err
+			}
+			for i := uint64(0); i < e.Size.Pages(); i++ {
+				s.noteUnmap(base + addr.VPN(i))
+			}
+			return nil
 		}
 	}
 	if ru, ok := s.pt.(replUnmapper); ok {
-		return ru.UnmapReplicated(vpn)
+		if err := ru.UnmapReplicated(vpn); err != nil {
+			return err
+		}
+		// A replicated compact PTE disappears whole: report every page it
+		// translated, matching what OnMap saw when it was installed.
+		switch e.Kind {
+		case pte.KindSuperpage:
+			base := vpn &^ addr.VPN(e.Size.Pages()-1)
+			for i := uint64(0); i < e.Size.Pages(); i++ {
+				s.noteUnmap(base + addr.VPN(i))
+			}
+		case pte.KindPartial:
+			base := addr.BlockBase(vpn, s.logSBF)
+			for boff := uint64(0); boff < uint64(1)<<s.logSBF; boff++ {
+				if e.ValidMask>>boff&1 == 1 {
+					s.noteUnmap(base + addr.VPN(boff))
+				}
+			}
+		default:
+			s.noteUnmap(vpn)
+		}
+		return nil
 	}
 	return err
 }

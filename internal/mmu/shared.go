@@ -64,6 +64,18 @@ func (s *Shared) Invalidate(vpn addr.VPN) {
 	s.h.Invalidate(vpn)
 }
 
+// InvalidateBatch shoots down many pages under one lock acquisition.
+// The replicated service's write broadcast invalidates a whole page
+// block on every replica's local hierarchy; paying one mutex round trip
+// per page would put the lock, not the model, on the profile.
+func (s *Shared) InvalidateBatch(vpns []addr.VPN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, vpn := range vpns {
+		s.h.Invalidate(vpn)
+	}
+}
+
 // Shootdown serializes the whole-hierarchy flush.
 func (s *Shared) Shootdown() {
 	s.mu.Lock()

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/mmu"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/trace"
+)
+
+// The replica race storm: 16 goroutines — readers pinned one-per-node
+// across every replica, writers broadcasting from different origins,
+// and a goroutine toggling per-replica hierarchy attachment — all over
+// one Replicated table, for the race detector. Afterwards the quiesced
+// audit must find the replicas converged: equal sequence stamps, every
+// replica translation-identical to replica 0, every surviving cache
+// entry coherent with its own replica's table.
+
+func stressReplicated(t *testing.T, r *Replicated) {
+	t.Helper()
+	const readers, writers = 8, 7 // +1 toggler = 16 goroutines
+	steps := 4000
+	if testing.Short() {
+		steps = 800
+	}
+	p, ok := trace.ProfileByName("gcc")
+	if !ok {
+		t.Fatal("no gcc profile")
+	}
+	snap := p.Snapshot()[0]
+
+	stop := make(chan struct{})
+	var togglers sync.WaitGroup
+	togglers.Add(1)
+	go func() {
+		defer togglers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.AttachMMU(func(ri int) *mmu.Shared {
+					return newModelMMU(r.ReplicaTable(ri))
+				})
+			} else {
+				r.AttachMMU(nil)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+writers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One Node per goroutine, pinned: node ids cover every
+			// replica's read path, locals and remotes alike.
+			node := r.Node(w % r.Nodes())
+			stream := trace.NewOpStream(snap, trace.DeriveSeed(99, fmt.Sprintf("reader-%d", w)), trace.OpMix{Lookup: 100})
+			for i := 0; i < 2*steps; i++ {
+				node.Lookup(addr.VAOf(stream.Next().VPN))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := r.Node((w * 3) % r.Nodes())
+			stream := trace.NewOpStream(snap, trace.DeriveSeed(7, fmt.Sprintf("writer-%d", w)), trace.WriteHeavyMix)
+			for i := 0; i < steps; i++ {
+				op := stream.Next()
+				switch op.Kind {
+				case trace.OpLookup:
+					node.Lookup(addr.VAOf(op.VPN))
+				case trace.OpMap:
+					if err := node.Map(op.VPN, op.PPN, op.Attr); err != nil && !errors.Is(err, pagetable.ErrAlreadyMapped) {
+						errc <- fmt.Errorf("map %#x: %w", uint64(op.VPN), err)
+						return
+					}
+				case trace.OpUnmap:
+					if err := node.Unmap(op.VPN); err != nil && !errors.Is(err, pagetable.ErrNotMapped) {
+						errc <- fmt.Errorf("unmap %#x: %w", uint64(op.VPN), err)
+						return
+					}
+				case trace.OpProtect:
+					if err := node.Protect(op.Range(), op.Set, op.Clear); err != nil {
+						errc <- fmt.Errorf("protect %#x+%d: %w", uint64(op.VPN), op.Pages, err)
+						return
+					}
+				}
+				if i%256 == 255 {
+					node.Demote(op.VPN)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	togglers.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Post-quiesce: the broadcast left every replica identical.
+	auditReplicated(t, r, "post-storm")
+	for _, vpn := range snap.AllPages() {
+		e0, _, ok0 := r.ReplicaTable(0).Lookup(addr.VAOf(vpn))
+		for i := 1; i < r.Replicas(); i++ {
+			ei, _, oki := r.ReplicaTable(i).Lookup(addr.VAOf(vpn))
+			if oki != ok0 || (ok0 && (ei.PPN != e0.PPN || ei.Attr != e0.Attr)) {
+				t.Fatalf("replica %d diverged at %#x: (%#x,%v,%v) vs (%#x,%v,%v)",
+					i, uint64(vpn), uint64(ei.PPN), ei.Attr, oki, uint64(e0.PPN), e0.Attr, ok0)
+			}
+		}
+	}
+	if st := r.Stats(); st.Maps == 0 || st.Unmaps == 0 {
+		t.Errorf("storm did not exercise the broadcast: %+v", st)
+	}
+}
+
+// TestRaceReplicated runs the 16-goroutine storm at factors 2, 4 and 8
+// over a clustered organization (the one with the richest PTE formats:
+// demotion races ride along).
+func TestRaceReplicated(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("r%d", n), func(t *testing.T) {
+			t.Parallel()
+			r := MustNewReplicated(
+				ReplicatedConfig{Config: Config{Stripes: 16, CacheSlots: 128}, Replicas: n},
+				func(int) (pagetable.PageTable, error) {
+					return core.MustNew(core.Config{Buckets: 256}), nil
+				})
+			stressReplicated(t, r)
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"testing"
+
+	"clusterpt/internal/addr"
+	"clusterpt/internal/core"
+	"clusterpt/internal/forward"
+	"clusterpt/internal/memcost"
+	"clusterpt/internal/mm"
+	"clusterpt/internal/pagetable"
+	"clusterpt/internal/pte"
+)
+
+func newReplicated(t *testing.T, n int) *Replicated {
+	t.Helper()
+	return MustNewReplicated(
+		ReplicatedConfig{Config: Config{Stripes: 16, CacheSlots: 256}, Replicas: n},
+		func(int) (pagetable.PageTable, error) {
+			return core.MustNew(core.Config{Buckets: 256}), nil
+		})
+}
+
+func TestReplicatedConfigValidation(t *testing.T) {
+	build := func(int) (pagetable.PageTable, error) {
+		return forward.MustNew(forward.Config{}), nil
+	}
+	if _, err := NewReplicated(ReplicatedConfig{Replicas: 9}, build); err == nil {
+		t.Error("9 replicas on the default 8-node machine accepted")
+	}
+	if _, err := NewReplicated(ReplicatedConfig{Replicas: -1}, build); err == nil {
+		t.Error("negative replica count accepted")
+	}
+	bad := memcost.NUMAModel{Nodes: 4, RemoteFactor: 0, IPILines: 1, InvLines: 1}
+	if _, err := NewReplicated(ReplicatedConfig{NUMA: bad}, build); err == nil {
+		t.Error("invalid NUMA model accepted")
+	}
+	r, err := NewReplicated(ReplicatedConfig{}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != 1 || r.Nodes() != memcost.DefaultNodes {
+		t.Errorf("defaults: %d replicas, %d nodes", r.Replicas(), r.Nodes())
+	}
+}
+
+func TestShootdownCharging(t *testing.T) {
+	r := newReplicated(t, 4)
+
+	// A write from node 0 (hosts replica 0): 3 remote replicas.
+	if err := r.Node(0).Map(0x100, 0x1, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	sd := r.Shootdowns()
+	want := memcost.ShootdownTally{Broadcasts: 1, IPIs: 3, RemotePages: 3,
+		Lines: uint64(r.NUMA().BroadcastLines(3, 1))}
+	if sd != want {
+		t.Errorf("node-0 map tally %+v, want %+v", sd, want)
+	}
+
+	// A write from node 6 (hosts no replica): all 4 replicas are remote.
+	if err := r.Node(6).Map(0x101, 0x2, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	sd = r.Shootdowns()
+	if sd.Broadcasts != 2 || sd.IPIs != 3+4 || sd.RemotePages != 3+4 {
+		t.Errorf("node-6 map tally %+v", sd)
+	}
+
+	// A failed write broadcasts nothing new.
+	if err := r.Node(0).Map(0x100, 0x9, pte.AttrR); err == nil {
+		t.Fatal("double map accepted")
+	}
+	if got := r.Shootdowns(); got != sd {
+		t.Errorf("failed map charged: %+v -> %+v", sd, got)
+	}
+
+	// A block MapRange batches: one broadcast, one IPI round per remote,
+	// 16 remote page updates each.
+	before := r.Shootdowns()
+	if n, err := r.Node(0).MapRange(0x200, 0x100, 16, pte.AttrR); n != 16 || err != nil {
+		t.Fatalf("MapRange = %d, %v", n, err)
+	}
+	after := r.Shootdowns()
+	if after.Broadcasts != before.Broadcasts+1 || after.IPIs != before.IPIs+3 ||
+		after.RemotePages != before.RemotePages+3*16 {
+		t.Errorf("block map tally %+v -> %+v", before, after)
+	}
+
+	// Replication factor 1, writer on the hosting node: nothing remote.
+	r1 := newReplicated(t, 1)
+	if err := r1.Node(0).Map(0x100, 0x1, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if sd := r1.Shootdowns(); sd != (memcost.ShootdownTally{}) {
+		t.Errorf("local-only write charged: %+v", sd)
+	}
+	// Same factor, writer across the interconnect: the replica is remote.
+	if err := r1.Node(5).Map(0x101, 0x2, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	if sd := r1.Shootdowns(); sd.Broadcasts != 1 || sd.IPIs != 1 {
+		t.Errorf("remote write at factor 1: %+v", sd)
+	}
+}
+
+func TestNodeLocality(t *testing.T) {
+	r := newReplicated(t, 2)
+	if err := r.Map(0x40, 0x80, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	local, remote := r.Node(1), r.Node(5) // both home on replica 1
+	if !local.Local() || remote.Local() {
+		t.Fatalf("locality: node1=%v node5=%v", local.Local(), remote.Local())
+	}
+	if local.Home() != 1 || remote.Home() != 1 {
+		t.Fatalf("homes: %d, %d", local.Home(), remote.Home())
+	}
+	// First lookup on each: a fill, walk lines charged per position.
+	if _, ok := local.Lookup(addr.VAOf(0x40)); !ok {
+		t.Fatal("local fill missed")
+	}
+	if _, ok := remote.Lookup(addr.VAOf(0x9999)); ok {
+		t.Fatal("unmapped page resolved")
+	}
+	lc, rc := local.Cost(), remote.Cost()
+	if lc.Fills != 1 || lc.LocalLines == 0 || lc.RemoteLines != 0 {
+		t.Errorf("local cost %+v", lc)
+	}
+	if rc.Faults != 1 || rc.RemoteLines == 0 || rc.LocalLines != 0 {
+		t.Errorf("remote cost %+v", rc)
+	}
+	if rc.RemoteLines%uint64(r.NUMA().RemoteFactor) != 0 {
+		t.Errorf("remote lines %d not scaled by factor %d", rc.RemoteLines, r.NUMA().RemoteFactor)
+	}
+	// A hit is line-free.
+	local.ResetCost()
+	if _, ok := local.Lookup(addr.VAOf(0x40)); !ok {
+		t.Fatal("hit missed")
+	}
+	if c := local.Cost(); c.Hits != 1 || c.Lines() != 0 {
+		t.Errorf("hit cost %+v", c)
+	}
+}
+
+// TestNodeLookupHitAllocs pins the 0-allocs/op contract on the node
+// read path's hit case — the line the benchmark scaling story rests on.
+func TestNodeLookupHitAllocs(t *testing.T) {
+	r := newReplicated(t, 4)
+	if err := r.Map(0x40, 0x80, pte.AttrR); err != nil {
+		t.Fatal(err)
+	}
+	node := r.Node(1)
+	va := addr.VAOf(0x40)
+	if _, ok := node.Lookup(va); !ok { // prime the cache
+		t.Fatal("prime lookup missed")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := node.Lookup(va); !ok {
+			t.Fatal("hit path missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("node hit path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestReplicatedDemote(t *testing.T) {
+	r := newReplicated(t, 2)
+	// Compact-PTE demotion under replication rides through the follower
+	// test (the mm space is what installs superpages); here pin the
+	// no-op contracts: unmapped and base-page blocks report no split on
+	// any replica, and no-ops never count.
+	if r.Demote(0x300) {
+		t.Error("demote of an unmapped block succeeded")
+	}
+	if n, err := r.MapRange(0x300, 0x500, 16, pte.AttrR); n != 16 || err != nil {
+		t.Fatalf("MapRange = %d, %v", n, err)
+	}
+	// Base pages: nothing compact to split; both replicas agree.
+	if r.Demote(0x300) {
+		t.Error("demote of base pages reported a split")
+	}
+	if r.Stats().Demotes != 0 {
+		t.Errorf("no-op demotes counted: %+v", r.Stats())
+	}
+}
+
+// TestReplicatedFollower mirrors an address space — superpages, partial
+// blocks, churn eviction rounds — into a replicated table via the
+// OnMap/OnUnmap shootdown hooks and requires translation equality with
+// the space's own table at every quiesce point.
+func TestReplicatedFollower(t *testing.T) {
+	ct := core.MustNew(core.Config{})
+	sp := mm.NewAddressSpace(ct, mm.MustNewAllocator(4096, 4),
+		mm.Policy{UseSuperpages: true, UsePartial: true})
+	r := newReplicated(t, 4)
+	sp.OnMap, sp.OnUnmap = r.Follower()
+
+	rg := addr.PageRange(0x100000, 40) // superpages + a partial block
+	if err := sp.Reserve(addr.PageRange(0x100000, 64), pte.AttrR|pte.AttrW, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	check := func(ctx string) {
+		t.Helper()
+		rg.Pages(func(vpn addr.VPN) bool {
+			we, _, wok := ct.Lookup(addr.VAOf(vpn))
+			ge, gok := r.Lookup(addr.VAOf(vpn))
+			if gok != wok || (wok && (ge.PPN != we.PPN || ge.Attr != we.Attr)) {
+				t.Fatalf("%s: follower diverged at %#x: (%#x,%v) vs space (%#x,%v)",
+					ctx, uint64(vpn), uint64(ge.PPN), gok, uint64(we.PPN), wok)
+			}
+			return true
+		})
+		auditReplicated(t, r, ctx)
+	}
+
+	for round := 0; round < 3; round++ {
+		if err := sp.Populate(rg); err != nil {
+			t.Fatal(err)
+		}
+		check("populated")
+		// Demotion in the space is format-only and fires no hook;
+		// translations must stay mirrored.
+		sp.Demote(addr.VPNOf(0x100000))
+		check("demoted")
+		if err := sp.EvictRange(rg); err != nil {
+			t.Fatal(err)
+		}
+		check("evicted")
+	}
+	if sd := r.Shootdowns(); sd.Broadcasts == 0 {
+		t.Error("follower writes never charged the broadcast tally")
+	}
+}
+
+func TestReplicatedReset(t *testing.T) {
+	r := newReplicated(t, 4)
+	if n, err := r.MapRange(0x100, 0x200, 32, pte.AttrR); n != 32 || err != nil {
+		t.Fatalf("MapRange = %d, %v", n, err)
+	}
+	if _, ok := r.Lookup(addr.VAOf(0x100)); !ok {
+		t.Fatal("mapped page missed")
+	}
+	r.Reset()
+	if _, ok := r.Lookup(addr.VAOf(0x100)); ok {
+		t.Fatal("mapping survived reset")
+	}
+	if st := r.Stats(); st != (Stats{Faults: 1}) {
+		t.Errorf("counters after reset: %+v", st)
+	}
+	if sd := r.Shootdowns(); sd != (memcost.ShootdownTally{}) {
+		t.Errorf("tally after reset: %+v", sd)
+	}
+	for i := 0; i < r.Replicas(); i++ {
+		if r.Seq(i) != 0 {
+			t.Errorf("replica %d seq %d after reset", i, r.Seq(i))
+		}
+		if sz := r.ReplicaTable(i).Size(); sz.Mappings != 0 {
+			t.Errorf("replica %d kept %d mappings", i, sz.Mappings)
+		}
+	}
+}

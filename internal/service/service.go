@@ -120,6 +120,9 @@ type Stats struct {
 	Unmaps, UnmapMisses uint64
 	// Protects counts Protect calls.
 	Protects uint64
+	// Demotes counts successful block demotions (format-only PTE
+	// rewrites; translations unchanged).
+	Demotes uint64
 }
 
 // Lookups returns the total lookup count.
@@ -163,6 +166,7 @@ type Service struct {
 	hits, fills, faults           atomic.Uint64
 	maps, mapConflicts            atomic.Uint64
 	unmaps, unmapMisses, protects atomic.Uint64
+	demotes                       atomic.Uint64
 }
 
 // Wrap builds a Service over table; zero config fields take defaults.
@@ -361,6 +365,34 @@ func (s *Service) Protect(r addr.Range, set, clear pte.Attr) error {
 	return firstErr
 }
 
+// Demote splits the compact PTE covering vpn's block back into base
+// PTEs, for organizations that support in-place demotion (clustered
+// tables) with a subblock factor no coarser than the lock block — one
+// stripe must cover the whole split. It reports whether a split
+// happened. Translations are unchanged, so the cache's translation
+// coherence holds with or without invalidation; the covered slots are
+// invalidated anyway so the next lookups observe the new PTE format,
+// the same shootdown a real demotion performs.
+func (s *Service) Demote(vpn addr.VPN) bool {
+	mu := s.stripeFor(vpn)
+	mu.Lock()
+	defer mu.Unlock()
+	d, ok := s.table.(tableDemoter)
+	if !ok || d.LogSBF() > s.cfg.LogBlock {
+		return false
+	}
+	vpbn, _ := addr.BlockSplit(vpn, d.LogSBF())
+	if !d.Demote(vpbn) {
+		return false
+	}
+	base := addr.BlockJoin(vpbn, 0, d.LogSBF())
+	for i := uint64(0); i < uint64(1)<<d.LogSBF(); i++ {
+		s.invalidate(base + addr.VPN(i))
+	}
+	s.demotes.Add(1)
+	return true
+}
+
 // invalidate kills the cache slot that may hold vpn and forwards the
 // shootdown to the attached hierarchy model. The caller holds vpn's
 // stripe exclusively. The slot may cache a different VPN that merely
@@ -414,6 +446,7 @@ func (s *Service) Reset() {
 	s.unmaps.Store(0)
 	s.unmapMisses.Store(0)
 	s.protects.Store(0)
+	s.demotes.Store(0)
 	for i := range s.stripes {
 		s.stripes[i].mu.Unlock()
 	}
@@ -430,6 +463,7 @@ func (s *Service) Stats() Stats {
 		Unmaps:       s.unmaps.Load(),
 		UnmapMisses:  s.unmapMisses.Load(),
 		Protects:     s.protects.Load(),
+		Demotes:      s.demotes.Load(),
 	}
 }
 
